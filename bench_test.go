@@ -1,0 +1,146 @@
+// Package repro's top-level benchmarks regenerate every table and figure
+// of the paper's evaluation as testing.B targets:
+//
+//	go test -bench=. -benchmem
+//
+// Throughput benches report MB/s and CPU utilization as custom metrics;
+// latency benches report microseconds per round trip. The cmd/qpipbench
+// tool prints the same results as paper-style tables, and EXPERIMENTS.md
+// records measured-vs-paper numbers for a full run.
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// metric sanitizes a label into a ReportMetric unit (no whitespace).
+func metric(parts ...string) string {
+	s := strings.Join(parts, "_")
+	s = strings.NewReplacer(" ", "_", "(", "", ")", "", "/", "-").Replace(s)
+	return s
+}
+
+// BenchmarkFigure3RTT measures the 1-byte round trip for every stack
+// (Figure 3). One b.N unit = one full Figure 3 sweep at 30 iterations.
+func BenchmarkFigure3RTT(b *testing.B) {
+	var rows []bench.RTTRow
+	for i := 0; i < b.N; i++ {
+		rows = bench.Figure3(30)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.UDPus, metric(r.Stack, "UDP_us"))
+		b.ReportMetric(r.TCPus, metric(r.Stack, "TCP_us"))
+	}
+}
+
+// BenchmarkFigure4Throughput runs the ttcp matrix (Figure 4) with a 4 MB
+// transfer per configuration.
+func BenchmarkFigure4Throughput(b *testing.B) {
+	var rows []bench.TtcpRow
+	for i := 0; i < b.N; i++ {
+		rows = bench.Figure4(4 << 20)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.MBps, metric(r.Stack, "MBps"))
+		b.ReportMetric(r.HostCPU*100, metric(r.Stack, "hostCPU_pct"))
+	}
+}
+
+// BenchmarkTable1HostOverhead measures the host send+receive overhead for
+// a 1-byte TCP message (Table 1).
+func BenchmarkTable1HostOverhead(b *testing.B) {
+	var rows []bench.OverheadRow
+	for i := 0; i < b.N; i++ {
+		rows = bench.Table1(30)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Micros, metric(r.Stack, "us_per_msg"))
+	}
+}
+
+// BenchmarkTable2TransmitOccupancy measures NIC transmit-side per-stage
+// costs (Table 2).
+func BenchmarkTable2TransmitOccupancy(b *testing.B) {
+	var rows []bench.StageRow
+	for i := 0; i < b.N; i++ {
+		rows = bench.Table2(30)
+	}
+	for _, r := range rows {
+		if r.DataUS > 0 {
+			b.ReportMetric(r.DataUS, metric("tx", r.Stage, "us"))
+		}
+	}
+}
+
+// BenchmarkTable3ReceiveOccupancy measures NIC receive-side per-stage
+// costs (Table 3).
+func BenchmarkTable3ReceiveOccupancy(b *testing.B) {
+	var rows []bench.StageRow
+	for i := 0; i < b.N; i++ {
+		rows = bench.Table3(30)
+	}
+	for _, r := range rows {
+		if r.DataUS > 0 {
+			b.ReportMetric(r.DataUS, metric("rx", r.Stage, "us"))
+		}
+	}
+}
+
+// BenchmarkFigure7NBD runs the NBD storage benchmark (Figure 7) at a
+// 32 MB working set per stack (use cmd/qpipbench -full for the paper's
+// 409 MB).
+func BenchmarkFigure7NBD(b *testing.B) {
+	var rows []bench.NBDRow
+	for i := 0; i < b.N; i++ {
+		rows = bench.Figure7(32 << 20)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.ReadMBps, metric(r.Stack, "read_MBps"))
+		b.ReportMetric(r.WriteMBps, metric(r.Stack, "write_MBps"))
+		b.ReportMetric(r.ReadEff, metric(r.Stack, "read_MB_per_CPUs"))
+	}
+}
+
+// BenchmarkAblationChecksum isolates receive checksum placement.
+func BenchmarkAblationChecksum(b *testing.B) {
+	var row bench.AblationRow
+	for i := 0; i < b.N; i++ {
+		row = bench.AblationChecksum(2 << 20)
+	}
+	b.ReportMetric(row.Baseline.MBps, "hw_csum_MBps")
+	b.ReportMetric(row.Variant.MBps, "fw_csum_MBps")
+}
+
+// BenchmarkAblationPipelinedTX isolates transmit FSM / send engine overlap.
+func BenchmarkAblationPipelinedTX(b *testing.B) {
+	var row bench.AblationRow
+	for i := 0; i < b.N; i++ {
+		row = bench.AblationPipelinedTX(2 << 20)
+	}
+	b.ReportMetric(row.Baseline.MBps, "serialized_MBps")
+	b.ReportMetric(row.Variant.MBps, "pipelined_MBps")
+}
+
+// BenchmarkAblationDelAck isolates the firmware ack policy.
+func BenchmarkAblationDelAck(b *testing.B) {
+	var row bench.AblationRow
+	for i := 0; i < b.N; i++ {
+		row = bench.AblationDelAck(2 << 20)
+	}
+	b.ReportMetric(row.Baseline.MBps, "delack_MBps")
+	b.ReportMetric(row.Variant.MBps, "ack_every_seg_MBps")
+}
+
+// BenchmarkAblationMTU sweeps the QPIP MTU.
+func BenchmarkAblationMTU(b *testing.B) {
+	var rows []bench.TtcpRow
+	for i := 0; i < b.N; i++ {
+		rows = bench.AblationMTU(2 << 20)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.MBps, "MBps_at_MTU")
+	}
+}

@@ -1,0 +1,67 @@
+// Command qpipbench regenerates the paper's tables and figures from the
+// simulated testbed.
+//
+// Usage:
+//
+//	qpipbench [-exp all|fig3|fig4|table1|table2|table3|fig7|ablations]
+//	          [-bytes N] [-nbd-bytes N] [-iters N] [-full]
+//
+// -full runs the paper's exact workload sizes (10 MB ttcp, 409 MB NBD);
+// the default sizes are reduced for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig3, fig4, table1, table2, table3, fig7, ablations")
+	bytes := flag.Int("bytes", 4<<20, "ttcp transfer size in bytes")
+	nbdBytes := flag.Int("nbd-bytes", 64<<20, "NBD benchmark size in bytes")
+	iters := flag.Int("iters", 50, "ping-pong iterations for latency experiments")
+	full := flag.Bool("full", false, "use the paper's workload sizes (10 MB ttcp, 409 MB NBD)")
+	flag.Parse()
+
+	if *full {
+		*bytes = 10 << 20
+		*nbdBytes = 409 << 20
+	}
+
+	run := func(name string, fn func()) {
+		if *exp == "all" || *exp == name {
+			fn()
+			fmt.Println()
+		}
+	}
+
+	ran := false
+	mark := func(fn func()) func() {
+		return func() { ran = true; fn() }
+	}
+
+	run("fig3", mark(func() { fmt.Print(bench.RenderFigure3(bench.Figure3(*iters))) }))
+	run("fig4", mark(func() { fmt.Print(bench.RenderFigure4(bench.Figure4(*bytes))) }))
+	run("table1", mark(func() { fmt.Print(bench.RenderTable1(bench.Table1(*iters))) }))
+	run("table2", mark(func() { fmt.Print(bench.RenderTable2(bench.Table2(*iters))) }))
+	run("table3", mark(func() { fmt.Print(bench.RenderTable3(bench.Table3(*iters))) }))
+	run("fig7", mark(func() { fmt.Print(bench.RenderFigure7(bench.Figure7(*nbdBytes))) }))
+	run("ablations", mark(func() {
+		fmt.Print(bench.RenderAblation(bench.AblationChecksum(*bytes)))
+		fmt.Println()
+		fmt.Print(bench.RenderAblation(bench.AblationPipelinedTX(*bytes)))
+		fmt.Println()
+		fmt.Print(bench.RenderAblation(bench.AblationDelAck(*bytes)))
+		fmt.Println()
+		fmt.Print(bench.RenderMTUSweep(bench.AblationMTU(*bytes)))
+	}))
+
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,41 @@
+// Command qpipnbd runs the Network Block Device scenario (paper §4.2.3)
+// on a chosen stack and reports per-phase throughput and client CPU
+// effectiveness — a single Figure 7 cell on demand.
+//
+// Usage:
+//
+//	qpipnbd [-stack qpip|gige|gm] [-mb N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	stack := flag.String("stack", "qpip", "stack: qpip, gige, gm")
+	mb := flag.Int("mb", 128, "megabytes to write and read back")
+	flag.Parse()
+
+	var rows []bench.NBDRow
+	switch *stack {
+	case "qpip":
+		rows = bench.Figure7Single(bench.QPIP, *mb<<20)
+	case "gige":
+		rows = bench.Figure7Single(bench.IPGigE, *mb<<20)
+	case "gm":
+		rows = bench.Figure7Single(bench.IPMyrinet, *mb<<20)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown stack %q\n", *stack)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if len(rows) == 0 {
+		log.Fatal("no results")
+	}
+	fmt.Print(bench.RenderFigure7(rows))
+}

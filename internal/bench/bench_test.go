@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/params"
+)
+
+// These tests are shape checks: the measured results must reproduce the
+// paper's qualitative story (who wins, by roughly what factor, where the
+// crossovers fall). EXPERIMENTS.md records the exact numbers.
+
+func TestFigure3Shape(t *testing.T) {
+	rows := Figure3(20)
+	byStack := map[string]RTTRow{}
+	for _, r := range rows {
+		byStack[r.Stack] = r
+	}
+	qhw := byStack["QPIP (emulated hw csum)"]
+	qfw := byStack["QPIP (firmware csum)"]
+	gige := byStack["IP/GigE"]
+	myri := byStack["IP/Myrinet"]
+
+	// UDP is always faster than TCP on the same stack.
+	for _, r := range rows {
+		if r.UDPus >= r.TCPus {
+			t.Errorf("%s: UDP RTT %.1f >= TCP RTT %.1f", r.Stack, r.UDPus, r.TCPus)
+		}
+	}
+	// Firmware checksums slow QPIP down.
+	if qfw.TCPus <= qhw.TCPus {
+		t.Errorf("fw-checksum TCP RTT %.1f not above hw %.1f", qfw.TCPus, qhw.TCPus)
+	}
+	// Paper's quoted firmware numbers: 73 us UDP / 113 us TCP. Require
+	// the same neighborhood (+-35%).
+	if qfw.UDPus < 47 || qfw.UDPus > 99 {
+		t.Errorf("QPIP fw UDP RTT %.1f us, paper 73", qfw.UDPus)
+	}
+	if qfw.TCPus < 73 || qfw.TCPus > 153 {
+		t.Errorf("QPIP fw TCP RTT %.1f us, paper 113", qfw.TCPus)
+	}
+	// QPIP (hw) competes with the host stacks.
+	if qhw.TCPus > 1.5*gige.TCPus {
+		t.Errorf("QPIP TCP RTT %.1f far above GigE %.1f", qhw.TCPus, gige.TCPus)
+	}
+	t.Logf("\n%s", RenderFigure3(rows))
+	_ = myri
+}
+
+func TestFigure4Shape(t *testing.T) {
+	rows := Figure4(4 << 20) // smaller transfer for test speed
+	get := func(stack string, mtu int) TtcpRow {
+		for _, r := range rows {
+			if r.Stack == stack && r.MTU == mtu {
+				return r
+			}
+		}
+		t.Fatalf("row %s/%d missing", stack, mtu)
+		return TtcpRow{}
+	}
+	gige := get("IP/GigE", params.MTUEthernet)
+	myri := get("IP/Myrinet", params.MTUJumbo)
+	q1500 := get("QPIP", params.MTUEthernet)
+	q9000 := get("QPIP", params.MTUJumbo)
+	q16k := get("QPIP", params.MTUQPIP)
+	qfw := get("QPIP (fw csum)", params.MTUQPIP)
+
+	// Headline: QPIP at native MTU beats both host stacks at theirs.
+	if q16k.MBps <= gige.MBps || q16k.MBps <= myri.MBps {
+		t.Errorf("QPIP@16K %.1f MB/s does not beat GigE %.1f / Myrinet %.1f",
+			q16k.MBps, gige.MBps, myri.MBps)
+	}
+	// QPIP host CPU is a tiny fraction of the host stacks'.
+	if q16k.HostCPU > 0.10 {
+		t.Errorf("QPIP host CPU %.1f%%, expected near zero", q16k.HostCPU*100)
+	}
+	if gige.HostCPU < 0.4 {
+		t.Errorf("GigE host CPU %.0f%%, paper: half to three quarters", gige.HostCPU*100)
+	}
+	// Small MTU: the adapter CPU limits QPIP below GigE (paper: 22% less).
+	if q1500.MBps >= gige.MBps {
+		t.Errorf("QPIP@1500 %.1f MB/s not below GigE %.1f", q1500.MBps, gige.MBps)
+	}
+	// 9000 B: QPIP beats IP/Myrinet (paper: 70.1 vs less).
+	if q9000.MBps <= myri.MBps {
+		t.Errorf("QPIP@9000 %.1f MB/s not above IP/Myrinet %.1f", q9000.MBps, myri.MBps)
+	}
+	// Firmware checksum collapses throughput (paper: 75.6 -> 26.4).
+	if qfw.MBps > 0.55*q16k.MBps {
+		t.Errorf("fw checksum only reduced throughput to %.1f of %.1f", qfw.MBps, q16k.MBps)
+	}
+	// Ordering across the QPIP MTU sweep: bigger segments, more goodput.
+	if !(q1500.MBps < q9000.MBps && q9000.MBps < q16k.MBps) {
+		t.Errorf("MTU sweep not monotone: %.1f / %.1f / %.1f",
+			q1500.MBps, q9000.MBps, q16k.MBps)
+	}
+	t.Logf("\n%s", RenderFigure4(rows))
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows := Table1(30)
+	host, qp := rows[0], rows[1]
+	// Paper: 29.9 us vs 2.5 us — QPIP at a small fraction.
+	if qp.Micros > 0.2*host.Micros {
+		t.Errorf("QPIP overhead %.1f us not a fraction of host %.1f us", qp.Micros, host.Micros)
+	}
+	if qp.Micros < 1.5 || qp.Micros > 4.0 {
+		t.Errorf("QPIP overhead %.1f us, paper 2.5", qp.Micros)
+	}
+	if host.Micros < 20 || host.Micros > 45 {
+		t.Errorf("host overhead %.1f us, paper 29.9", host.Micros)
+	}
+	t.Logf("\n%s", RenderTable1(rows))
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	rows := Table2(30)
+	for _, r := range rows {
+		if r.PaperDataUS > 0 && r.DataUS > 0 {
+			lo, hi := r.PaperDataUS*0.9, r.PaperDataUS*1.4
+			if r.Stage == "Get Data" {
+				hi = r.PaperDataUS + 1.0 // includes the 1-byte DMA
+			}
+			if r.DataUS < lo || r.DataUS > hi {
+				t.Errorf("Tx %q data = %.2f us, paper %.1f", r.Stage, r.DataUS, r.PaperDataUS)
+			}
+		}
+	}
+	t.Logf("\n%s", RenderTable2(rows))
+}
+
+func TestTable3MatchesPaper(t *testing.T) {
+	rows := Table3(30)
+	for _, r := range rows {
+		if r.PaperDataUS > 0 && r.DataUS > 0 {
+			lo, hi := r.PaperDataUS*0.9, r.PaperDataUS*1.4
+			if r.Stage == "Put Data" {
+				hi = r.PaperDataUS + 1.0
+			}
+			if r.DataUS < lo || r.DataUS > hi {
+				t.Errorf("Rx %q data = %.2f us, paper %.1f", r.Stage, r.DataUS, r.PaperDataUS)
+			}
+		}
+	}
+	// The ACK path's TCP parse must show the software-multiply penalty.
+	for _, r := range rows {
+		if r.Stage == "TCP Parse" {
+			if r.AckUS < 1.5*r.DataUS {
+				t.Errorf("ACK TCP parse %.1f not ~2x data %.1f (paper: 14 vs 7)", r.AckUS, r.DataUS)
+			}
+		}
+	}
+	t.Logf("\n%s", RenderTable3(rows))
+}
+
+func TestFigure7Shape(t *testing.T) {
+	rows := Figure7(48 << 20) // reduced size for test runtime
+	byStack := map[string]NBDRow{}
+	for _, r := range rows {
+		byStack[r.Stack] = r
+	}
+	qp, gige, myri := byStack["QPIP"], byStack["IP/GigE"], byStack["IP/Myrinet"]
+	// QPIP wins read and write throughput (paper: +40% to +137%).
+	if qp.ReadMBps <= gige.ReadMBps || qp.WriteMBps <= gige.WriteMBps {
+		t.Errorf("QPIP (%.1f/%.1f) does not beat GigE (%.1f/%.1f)",
+			qp.WriteMBps, qp.ReadMBps, gige.WriteMBps, gige.ReadMBps)
+	}
+	if qp.ReadMBps < 1.2*gige.ReadMBps {
+		t.Errorf("QPIP read advantage over GigE only %.0f%%", (qp.ReadMBps/gige.ReadMBps-1)*100)
+	}
+	// QPIP wins CPU effectiveness (paper: up to +133%).
+	if qp.ReadEff <= gige.ReadEff || qp.ReadEff <= myri.ReadEff {
+		t.Errorf("QPIP read effectiveness %.1f not above GigE %.1f / Myrinet %.1f",
+			qp.ReadEff, gige.ReadEff, myri.ReadEff)
+	}
+	// Filesystem floor: every stack burns >=20% CPU during the runs.
+	for _, r := range rows {
+		if r.ReadCPU < 0.10 {
+			t.Errorf("%s read CPU %.0f%% — below any plausible filesystem floor", r.Stack, r.ReadCPU*100)
+		}
+	}
+	t.Logf("\n%s", RenderFigure7(rows))
+}
+
+func TestAblations(t *testing.T) {
+	ck := AblationChecksum(2 << 20)
+	if ck.Variant.MBps >= ck.Baseline.MBps {
+		t.Errorf("firmware checksum did not reduce throughput: %.1f vs %.1f",
+			ck.Variant.MBps, ck.Baseline.MBps)
+	}
+	pl := AblationPipelinedTX(2 << 20)
+	if pl.Variant.MBps <= pl.Baseline.MBps {
+		t.Errorf("pipelined TX did not help: %.1f vs %.1f", pl.Variant.MBps, pl.Baseline.MBps)
+	}
+	ack := AblationDelAck(2 << 20)
+	if ack.Variant.MBps > ack.Baseline.MBps*1.05 {
+		t.Errorf("ack-every-segment beat delayed acks: %.1f vs %.1f", ack.Variant.MBps, ack.Baseline.MBps)
+	}
+	sweep := AblationMTU(2 << 20)
+	if len(sweep) < 3 || sweep[0].MBps >= sweep[len(sweep)-1].MBps {
+		t.Errorf("MTU sweep not increasing: %+v", sweep)
+	}
+	out := RenderAblation(ck) + RenderAblation(pl) + RenderAblation(ack) + RenderMTUSweep(sweep)
+	if !strings.Contains(out, "Ablation") {
+		t.Error("renderers broken")
+	}
+	t.Logf("\n%s", out)
+}

@@ -1,0 +1,337 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§4.2): Figure 3 (round-trip time), Figure 4 (ttcp
+// throughput and CPU utilization), Table 1 (host overhead), Tables 2 & 3
+// (NIC per-stage occupancy), and Figure 7 (NBD storage performance) —
+// plus ablations over the design choices DESIGN.md calls out.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/buf"
+	"repro/internal/core"
+	"repro/internal/hostos"
+	"repro/internal/params"
+	"repro/internal/qpipnic"
+	"repro/internal/sim"
+	"repro/internal/verbs"
+)
+
+// StackKind names a measured configuration.
+type StackKind int
+
+// The three stacks of the paper's comparison.
+const (
+	IPGigE StackKind = iota
+	IPMyrinet
+	QPIP
+)
+
+func (s StackKind) String() string {
+	switch s {
+	case IPGigE:
+		return "IP/GigE"
+	case IPMyrinet:
+		return "IP/Myrinet"
+	default:
+		return "QPIP"
+	}
+}
+
+// pollWait spin-polls a CQ (the latency-measurement discipline; the
+// paper's overheads were measured "by directly timing the associated
+// communication methods from user-space").
+func pollWait(p *sim.Proc, cq *verbs.CQ) verbs.Completion {
+	for {
+		if comp, ok := cq.Poll(p); ok {
+			return comp
+		}
+	}
+}
+
+// newRC builds a reliable QP with CQs on a node.
+func newRC(node *core.Node, depth int) (*verbs.QP, *verbs.CQ, *verbs.CQ, error) {
+	scq := verbs.NewCQ(node.QPIP, depth*2)
+	rcq := verbs.NewCQ(node.QPIP, depth*2)
+	qp, err := verbs.NewQP(node.QPIP, verbs.QPConfig{
+		Transport: verbs.Reliable, SendCQ: scq, RecvCQ: rcq,
+		SendDepth: depth, RecvDepth: depth,
+	})
+	return qp, scq, rcq, err
+}
+
+// newUD builds an unreliable QP with CQs on a node.
+func newUD(node *core.Node, depth int) (*verbs.QP, *verbs.CQ, *verbs.CQ, error) {
+	scq := verbs.NewCQ(node.QPIP, depth*2)
+	rcq := verbs.NewCQ(node.QPIP, depth*2)
+	qp, err := verbs.NewQP(node.QPIP, verbs.QPConfig{
+		Transport: verbs.Unreliable, SendCQ: scq, RecvCQ: rcq,
+		SendDepth: depth, RecvDepth: depth,
+	})
+	return qp, scq, rcq, err
+}
+
+// qpipPingPongStats carries everything the RTT and Table 1/2/3
+// experiments extract from one QPIP ping-pong run.
+type qpipPingPongStats struct {
+	rttUS float64
+	// hostPerMsgUS is host CPU consumed by the timed verbs calls
+	// (PostSend + PostRecv + successful Poll) per message — Table 1's
+	// QPIP row.
+	hostPerMsgUS float64
+	cluster      *core.Cluster
+}
+
+// qpipPingPong runs a reliable 1-byte ping-pong (iters round trips after
+// warmup) on a QPIP cluster with the given checksum mode.
+func qpipPingPong(cs qpipnic.ChecksumMode, mtu, iters int, tweak func(*core.NodeConfig)) qpipPingPongStats {
+	cfg := core.NodeConfig{QPIP: true, QPIPMTU: mtu, QPIPChecksum: cs}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	c := core.NewCluster(2, cfg)
+	var out qpipPingPongStats
+	out.cluster = c
+	const port = 7000
+	total := iters + 2 // one warmup RTT
+
+	serverReady := false
+	c.Spawn("server", func(p *sim.Proc) {
+		qp, _, rcq, err := newRC(c.Nodes[1], 2*total)
+		if err != nil {
+			panic(err)
+		}
+		lst, err := c.Nodes[1].QPIP.Listen(port)
+		if err != nil {
+			panic(err)
+		}
+		lst.Post(qp)
+		if err := qp.WaitEstablished(p); err != nil {
+			panic(err)
+		}
+		for i := 0; i < total; i++ {
+			qp.PostRecv(p, verbs.RecvWR{ID: uint64(i), Capacity: 64})
+		}
+		serverReady = true
+		for i := 0; i < total-1; i++ {
+			pollWait(p, rcq)
+			qp.PostSend(p, verbs.SendWR{ID: uint64(i), Payload: buf.Virtual(1)})
+		}
+	})
+	c.Spawn("client", func(p *sim.Proc) {
+		qp, scq, rcq, err := newRC(c.Nodes[0], 2*total)
+		if err != nil {
+			panic(err)
+		}
+		if err := qp.Connect(p, c.Nodes[1].Addr6, port); err != nil {
+			panic(err)
+		}
+		for !serverReady {
+			p.Sleep(5 * sim.Microsecond)
+		}
+		for i := 0; i < total; i++ {
+			qp.PostRecv(p, verbs.RecvWR{ID: uint64(i), Capacity: 64})
+		}
+		cpu := c.Nodes[0].CPU
+		// Warmup round trip.
+		qp.PostSend(p, verbs.SendWR{ID: 0, Payload: buf.Virtual(1)})
+		pollWait(p, rcq)
+		pollWait(p, scq)
+		c.Nodes[0].QPIP.ResetStages()
+		c.Nodes[1].QPIP.ResetStages()
+
+		var postSendBusy sim.Time
+		start := p.Now()
+		for i := 1; i <= iters; i++ {
+			b0 := cpu.BusyTotal()
+			qp.PostSend(p, verbs.SendWR{ID: uint64(i), Payload: buf.Virtual(1)})
+			postSendBusy += cpu.BusyTotal() - b0
+			pollWait(p, rcq) // wait for the echo
+			pollWait(p, scq) // reap the send completion
+		}
+		rtt := p.Now() - start
+		out.rttUS = rtt.Micros() / float64(iters)
+		// Table 1 accounting — "directly timing the associated
+		// communication methods": PostSend (measured), PostRecv
+		// (measured), plus one successful CQ poll per message.
+		b0 := cpu.BusyTotal()
+		qp.PostRecv(p, verbs.RecvWR{ID: 9999, Capacity: 64})
+		postRecvCost := cpu.BusyTotal() - b0
+		perMsg := postSendBusy/sim.Time(iters) + postRecvCost + params.US(params.VerbsPollUS)
+		out.hostPerMsgUS = perMsg.Micros()
+	})
+	c.Run()
+	return out
+}
+
+// qpipUDPPingPong measures the unreliable (UDP) 1-byte RTT.
+func qpipUDPPingPong(cs qpipnic.ChecksumMode, iters int) float64 {
+	c := core.NewCluster(2, core.NodeConfig{QPIP: true, QPIPChecksum: cs})
+	var rttUS float64
+	total := iters + 2
+	c.Spawn("server", func(p *sim.Proc) {
+		qp, _, rcq, err := newUD(c.Nodes[1], 2*total)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := qp.BindUDP(7001); err != nil {
+			panic(err)
+		}
+		for i := 0; i < total; i++ {
+			qp.PostRecv(p, verbs.RecvWR{ID: uint64(i), Capacity: 64})
+		}
+		for i := 0; i < total-1; i++ {
+			comp := pollWait(p, rcq)
+			qp.PostSend(p, verbs.SendWR{
+				ID: uint64(i), Payload: buf.Virtual(1),
+				RemoteAddr: comp.RemoteAddr, RemotePort: comp.RemotePort,
+			})
+		}
+	})
+	c.Spawn("client", func(p *sim.Proc) {
+		qp, _, rcq, err := newUD(c.Nodes[0], 2*total)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := qp.BindUDP(7002); err != nil {
+			panic(err)
+		}
+		for i := 0; i < total; i++ {
+			qp.PostRecv(p, verbs.RecvWR{ID: uint64(i), Capacity: 64})
+		}
+		send := func(i int) {
+			qp.PostSend(p, verbs.SendWR{
+				ID: uint64(i), Payload: buf.Virtual(1),
+				RemoteAddr: c.Nodes[1].Addr6, RemotePort: 7001,
+			})
+		}
+		send(0) // warmup
+		pollWait(p, rcq)
+		start := p.Now()
+		for i := 1; i <= iters; i++ {
+			send(i)
+			pollWait(p, rcq)
+		}
+		rttUS = (p.Now() - start).Micros() / float64(iters)
+	})
+	c.Run()
+	return rttUS
+}
+
+// sockPingPong measures the host-stack 1-byte RTT over GigE or GM.
+func sockPingPong(kind StackKind, udp bool, iters int) float64 {
+	var c *core.Cluster
+	if kind == IPGigE {
+		c = core.NewCluster(2, core.NodeConfig{GigE: true})
+	} else {
+		c = core.NewCluster(2, core.NodeConfig{GM: true})
+	}
+	var rttUS float64
+	if udp {
+		c.Spawn("server", func(p *sim.Proc) {
+			s := c.Nodes[1].Kernel.NewSocket(hostos.UDPSock)
+			s.BindUDP(7001)
+			for {
+				b, addr, port, err := s.RecvFrom(p)
+				if err != nil {
+					return
+				}
+				_ = b
+				if err := s.SendTo(p, buf.Virtual(1), addr, port); err != nil {
+					return
+				}
+			}
+		})
+		c.Spawn("client", func(p *sim.Proc) {
+			s := c.Nodes[0].Kernel.NewSocket(hostos.UDPSock)
+			s.BindUDP(7002)
+			s.SendTo(p, buf.Virtual(1), c.Nodes[1].Addr4, 7001) // warmup
+			s.RecvFrom(p)
+			start := p.Now()
+			for i := 0; i < iters; i++ {
+				s.SendTo(p, buf.Virtual(1), c.Nodes[1].Addr4, 7001)
+				s.RecvFrom(p)
+			}
+			rttUS = (p.Now() - start).Micros() / float64(iters)
+			s.Close(p)
+		})
+		c.RunFor(30 * sim.Second)
+		return rttUS
+	}
+	c.Spawn("server", func(p *sim.Proc) {
+		lst := c.Nodes[1].Kernel.NewSocket(hostos.TCPSock)
+		lst.Listen(7000, 4)
+		s := lst.Accept(p)
+		s.SetNoDelay(true)
+		for {
+			if _, err := s.RecvFull(p, 1); err != nil {
+				return
+			}
+			if err := s.Send(p, buf.Virtual(1)); err != nil {
+				return
+			}
+		}
+	})
+	c.Spawn("client", func(p *sim.Proc) {
+		s := c.Nodes[0].Kernel.NewSocket(hostos.TCPSock)
+		s.SetNoDelay(true)
+		if err := s.Connect(p, c.Nodes[1].Addr4, 7000); err != nil {
+			panic(fmt.Sprintf("bench: connect: %v", err))
+		}
+		s.Send(p, buf.Virtual(1)) // warmup
+		s.RecvFull(p, 1)
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			s.Send(p, buf.Virtual(1))
+			s.RecvFull(p, 1)
+		}
+		rttUS = (p.Now() - start).Micros() / float64(iters)
+		s.Close(p)
+	})
+	c.RunFor(30 * sim.Second)
+	return rttUS
+}
+
+// hostLoopbackOverhead measures Table 1's host-based row: per-message
+// host CPU for a 1-byte TCP message through loopback.
+func hostLoopbackOverhead(iters int) float64 {
+	c := core.NewCluster(1, core.NodeConfig{GigE: true})
+	k := c.Nodes[0].Kernel
+	var perMsgUS float64
+	done := false
+	c.Spawn("server", func(p *sim.Proc) {
+		lst := k.NewSocket(hostos.TCPSock)
+		lst.Listen(7000, 4)
+		s := lst.Accept(p)
+		for !done {
+			if _, err := s.Recv(p, 64); err != nil {
+				return
+			}
+			if err := s.Send(p, buf.Virtual(1)); err != nil {
+				return
+			}
+		}
+	})
+	c.Spawn("client", func(p *sim.Proc) {
+		s := k.NewSocket(hostos.TCPSock)
+		s.SetNoDelay(true)
+		if err := s.Connect(p, c.Nodes[0].Addr4, 7000); err != nil {
+			panic(err)
+		}
+		s.Send(p, buf.Virtual(1))
+		s.RecvFull(p, 1)
+		b0 := k.CPU().BusyTotal()
+		for i := 0; i < iters; i++ {
+			s.Send(p, buf.Virtual(1))
+			s.RecvFull(p, 1)
+		}
+		perMsgUS = (k.CPU().BusyTotal() - b0).Micros() / float64(2*iters)
+		done = true
+		s.Close(p)
+	})
+	c.RunFor(60 * sim.Second)
+	return perMsgUS
+}
+
+// cyclesAt converts microseconds of host time to host cycles.
+func cyclesAt(us float64) float64 { return us * params.HostClockHz / 1e6 }

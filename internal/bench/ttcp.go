@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"repro/internal/buf"
+	"repro/internal/core"
+	"repro/internal/hostos"
+	"repro/internal/params"
+	"repro/internal/qpipnic"
+	"repro/internal/sim"
+	"repro/internal/verbs"
+)
+
+// TtcpMeasure is one ttcp run's outcome.
+type TtcpMeasure struct {
+	MBps float64
+	// SendCPU / RecvCPU are fractions of one host processor.
+	SendCPU, RecvCPU float64
+	// NICCPU is the sender-side adapter processor utilization (QPIP only).
+	NICCPU float64
+}
+
+// ttcp parameters: "a 10MB transfer in 16KB chunks with the TCP_NODELAY
+// option set" (paper §4.2.1).
+const (
+	TtcpChunk = 16 * 1024
+)
+
+// qpipTtcp runs the ttcp-equivalent over a QPIP cluster: messages of
+// min(chunk, maxMessage), pipelined with a bounded number outstanding,
+// completions reaped with Wait (the utilization-measurement discipline —
+// a blocked ttcp burns no cycles).
+func qpipTtcp(mtu int, cs qpipnic.ChecksumMode, total int, tweak func(*core.NodeConfig)) TtcpMeasure {
+	cfg := core.NodeConfig{QPIP: true, QPIPMTU: mtu, QPIPChecksum: cs}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	c := core.NewCluster(2, cfg)
+	maxMsg := c.Nodes[0].QPIP.MaxMessage()
+	msgSize := TtcpChunk
+	if msgSize > maxMsg {
+		msgSize = maxMsg
+	}
+	nMsgs := (total + msgSize - 1) / msgSize
+	const port = 7000
+	const window = 64 // outstanding messages
+
+	var out TtcpMeasure
+	var start, end sim.Time
+	var sndBusy0, rcvBusy0, nicBusy0 sim.Time
+
+	c.Spawn("server", func(p *sim.Proc) {
+		qp, _, rcq, err := newRC(c.Nodes[1], 2*window)
+		if err != nil {
+			panic(err)
+		}
+		lst, err := c.Nodes[1].QPIP.Listen(port)
+		if err != nil {
+			panic(err)
+		}
+		lst.Post(qp)
+		if err := qp.WaitEstablished(p); err != nil {
+			panic(err)
+		}
+		posted := 0
+		for posted < nMsgs && posted < window {
+			qp.PostRecv(p, verbs.RecvWR{ID: uint64(posted), Capacity: msgSize})
+			posted++
+		}
+		for got := 0; got < nMsgs; {
+			rcq.Wait(p)
+			got++
+			// Reap whatever else already completed: one wakeup covers a
+			// batch, as a real blocked receiver would see.
+			for {
+				if _, ok := rcq.Poll(p); !ok {
+					break
+				}
+				got++
+			}
+			for posted < nMsgs && posted-got < window {
+				qp.PostRecv(p, verbs.RecvWR{ID: uint64(posted), Capacity: msgSize})
+				posted++
+			}
+		}
+		end = p.Now()
+	})
+	c.Spawn("client", func(p *sim.Proc) {
+		qp, scq, _, err := newRC(c.Nodes[0], 2*window)
+		if err != nil {
+			panic(err)
+		}
+		if err := qp.Connect(p, c.Nodes[1].Addr6, port); err != nil {
+			panic(err)
+		}
+		start = p.Now()
+		sndBusy0 = c.Nodes[0].CPU.BusyTotal()
+		rcvBusy0 = c.Nodes[1].CPU.BusyTotal()
+		nicBusy0 = c.Nodes[0].QPIP.CPU().BusyTotal()
+		inFlight, sent := 0, 0
+		for sent < nMsgs {
+			for inFlight < window && sent < nMsgs {
+				if err := qp.PostSend(p, verbs.SendWR{ID: uint64(sent), Payload: buf.Virtual(msgSize)}); err != nil {
+					panic(err)
+				}
+				sent++
+				inFlight++
+			}
+			scq.Wait(p)
+			inFlight--
+			for inFlight > 0 {
+				if _, ok := scq.Poll(p); !ok {
+					break
+				}
+				inFlight--
+			}
+		}
+		for inFlight > 0 {
+			scq.Wait(p)
+			inFlight--
+		}
+	})
+	c.Run()
+	dur := end - start
+	out.MBps = float64(nMsgs*msgSize) / 1e6 / dur.Seconds()
+	out.SendCPU = float64(c.Nodes[0].CPU.BusyTotal()-sndBusy0) / float64(dur)
+	out.RecvCPU = float64(c.Nodes[1].CPU.BusyTotal()-rcvBusy0) / float64(dur)
+	out.NICCPU = float64(c.Nodes[0].QPIP.CPU().BusyTotal()-nicBusy0) / float64(dur)
+	return out
+}
+
+// sockTtcp runs ttcp over a host-stack cluster.
+func sockTtcp(kind StackKind, total int, tweak func(*core.NodeConfig)) TtcpMeasure {
+	var cfg core.NodeConfig
+	if kind == IPGigE {
+		cfg = core.NodeConfig{GigE: true}
+	} else {
+		cfg = core.NodeConfig{GM: true}
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	c := core.NewCluster(2, cfg)
+	var out TtcpMeasure
+	var start, end sim.Time
+	var sndBusy0, rcvBusy0 sim.Time
+	c.Spawn("server", func(p *sim.Proc) {
+		lst := c.Nodes[1].Kernel.NewSocket(hostos.TCPSock)
+		lst.Listen(7000, 4)
+		s := lst.Accept(p)
+		if _, err := s.RecvFull(p, total); err != nil {
+			panic(err)
+		}
+		end = p.Now()
+	})
+	c.Spawn("client", func(p *sim.Proc) {
+		s := c.Nodes[0].Kernel.NewSocket(hostos.TCPSock)
+		s.SetNoDelay(true) // ttcp sets TCP_NODELAY (paper §4.2.1)
+		if err := s.Connect(p, c.Nodes[1].Addr4, 7000); err != nil {
+			panic(err)
+		}
+		start = p.Now()
+		sndBusy0 = c.Nodes[0].CPU.BusyTotal()
+		rcvBusy0 = c.Nodes[1].CPU.BusyTotal()
+		for off := 0; off < total; off += TtcpChunk {
+			n := TtcpChunk
+			if off+n > total {
+				n = total - off
+			}
+			if err := s.Send(p, buf.Virtual(n)); err != nil {
+				panic(err)
+			}
+		}
+	})
+	c.Run()
+	dur := end - start
+	out.MBps = float64(total) / 1e6 / dur.Seconds()
+	out.SendCPU = float64(c.Nodes[0].CPU.BusyTotal()-sndBusy0) / float64(dur)
+	out.RecvCPU = float64(c.Nodes[1].CPU.BusyTotal()-rcvBusy0) / float64(dur)
+	return out
+}
+
+// effectiveHostCPU picks the utilization figure the paper reports: the
+// busier of the two hosts' single-CPU utilizations.
+func (m TtcpMeasure) effectiveHostCPU() float64 {
+	if m.SendCPU > m.RecvCPU {
+		return m.SendCPU
+	}
+	return m.RecvCPU
+}
+
+var _ = params.MTUQPIP // keep params imported for tuning constants

@@ -1,0 +1,131 @@
+// Package buf provides payload buffers for the QPIP simulation.
+//
+// Protocol headers are always real bytes, but bulk payloads may be hundreds
+// of megabytes per experiment (the paper's NBD benchmark moves 409 MB per
+// phase). Buf therefore supports two representations:
+//
+//   - real: backed by a byte slice, used by data-integrity tests and small
+//     control messages;
+//   - virtual: a length of implicit zero bytes, used by bulk benchmarks.
+//
+// The Internet checksum of a run of zeros is zero, so virtual buffers
+// compose correctly with real end-to-end checksum computation: checksums
+// over (headers + virtual payload) equal checksums over (headers + a real
+// all-zero payload) of the same length.
+package buf
+
+import "fmt"
+
+// Buf is an immutable payload of n bytes, optionally byte-backed.
+type Buf struct {
+	n    int
+	data []byte // nil for virtual buffers
+}
+
+// Empty is the zero-length buffer.
+var Empty = Buf{}
+
+// Bytes returns a real buffer wrapping data. The buffer takes ownership;
+// callers must not mutate data afterwards.
+func Bytes(data []byte) Buf { return Buf{n: len(data), data: data} }
+
+// String returns a real buffer holding s.
+func String(s string) Buf { return Bytes([]byte(s)) }
+
+// Virtual returns a virtual buffer of n implicit zero bytes.
+func Virtual(n int) Buf {
+	if n < 0 {
+		panic(fmt.Sprintf("buf: negative virtual length %d", n))
+	}
+	return Buf{n: n}
+}
+
+// Len reports the payload length in bytes.
+func (b Buf) Len() int { return b.n }
+
+// IsVirtual reports whether the buffer has no byte backing.
+func (b Buf) IsVirtual() bool { return b.data == nil && b.n > 0 }
+
+// Data returns the backing bytes for a real buffer, materializing zeros for
+// a virtual one. Callers must not mutate the result.
+func (b Buf) Data() []byte {
+	if b.data == nil && b.n > 0 {
+		return make([]byte, b.n)
+	}
+	return b.data
+}
+
+// Slice returns the sub-buffer [from, to). It panics if the range is
+// out of bounds, matching slice semantics.
+func (b Buf) Slice(from, to int) Buf {
+	if from < 0 || to < from || to > b.n {
+		panic(fmt.Sprintf("buf: slice [%d:%d) of %d-byte buffer", from, to, b.n))
+	}
+	if b.data == nil {
+		return Buf{n: to - from}
+	}
+	return Buf{n: to - from, data: b.data[from:to]}
+}
+
+// Concat returns the concatenation of bufs. If every input is virtual (or
+// empty) the result is virtual; otherwise the result is materialized.
+func Concat(bufs ...Buf) Buf {
+	total := 0
+	allVirtual := true
+	for _, b := range bufs {
+		total += b.n
+		if b.data != nil {
+			allVirtual = false
+		}
+	}
+	if total == 0 {
+		return Empty
+	}
+	if allVirtual {
+		return Buf{n: total}
+	}
+	out := make([]byte, 0, total)
+	for _, b := range bufs {
+		if b.data == nil {
+			out = append(out, make([]byte, b.n)...)
+		} else {
+			out = append(out, b.data...)
+		}
+	}
+	return Buf{n: total, data: out}
+}
+
+// Equal reports whether two buffers hold identical byte content, treating
+// virtual buffers as runs of zeros.
+func Equal(a, b Buf) bool {
+	if a.n != b.n {
+		return false
+	}
+	if a.data == nil && b.data == nil {
+		return true
+	}
+	ad, bd := a.Data(), b.Data()
+	for i := range ad {
+		if ad[i] != bd[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Pattern returns a real n-byte buffer with a deterministic, position- and
+// seed-dependent pattern, for integrity tests.
+func Pattern(n int, seed byte) Buf {
+	d := make([]byte, n)
+	for i := range d {
+		d[i] = byte(i)*31 + seed
+	}
+	return Bytes(d)
+}
+
+func (b Buf) String() string {
+	if b.IsVirtual() {
+		return fmt.Sprintf("Buf(virtual, %d bytes)", b.n)
+	}
+	return fmt.Sprintf("Buf(%d bytes)", b.n)
+}

@@ -1,0 +1,160 @@
+package buf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBytesAndLen(t *testing.T) {
+	b := Bytes([]byte{1, 2, 3})
+	if b.Len() != 3 || b.IsVirtual() {
+		t.Fatalf("Bytes: len=%d virtual=%v", b.Len(), b.IsVirtual())
+	}
+	if d := b.Data(); len(d) != 3 || d[0] != 1 || d[2] != 3 {
+		t.Fatalf("Data() = %v", d)
+	}
+}
+
+func TestVirtual(t *testing.T) {
+	b := Virtual(5)
+	if b.Len() != 5 || !b.IsVirtual() {
+		t.Fatalf("Virtual: len=%d virtual=%v", b.Len(), b.IsVirtual())
+	}
+	d := b.Data()
+	if len(d) != 5 {
+		t.Fatalf("Data() len = %d", len(d))
+	}
+	for _, v := range d {
+		if v != 0 {
+			t.Fatal("virtual buffer materialized non-zero byte")
+		}
+	}
+}
+
+func TestVirtualNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Virtual(-1) did not panic")
+		}
+	}()
+	Virtual(-1)
+}
+
+func TestEmptyBuf(t *testing.T) {
+	if Empty.Len() != 0 || Empty.IsVirtual() {
+		t.Fatalf("Empty: len=%d virtual=%v", Empty.Len(), Empty.IsVirtual())
+	}
+}
+
+func TestSliceReal(t *testing.T) {
+	b := Bytes([]byte{0, 1, 2, 3, 4})
+	s := b.Slice(1, 4)
+	if s.Len() != 3 {
+		t.Fatalf("slice len = %d", s.Len())
+	}
+	if d := s.Data(); d[0] != 1 || d[2] != 3 {
+		t.Fatalf("slice data = %v", d)
+	}
+}
+
+func TestSliceVirtualStaysVirtual(t *testing.T) {
+	s := Virtual(10).Slice(2, 9)
+	if !s.IsVirtual() || s.Len() != 7 {
+		t.Fatalf("virtual slice: len=%d virtual=%v", s.Len(), s.IsVirtual())
+	}
+}
+
+func TestSliceOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range slice did not panic")
+		}
+	}()
+	Bytes([]byte{1}).Slice(0, 2)
+}
+
+func TestConcatAllVirtual(t *testing.T) {
+	c := Concat(Virtual(3), Virtual(4))
+	if !c.IsVirtual() || c.Len() != 7 {
+		t.Fatalf("concat virtual: len=%d virtual=%v", c.Len(), c.IsVirtual())
+	}
+}
+
+func TestConcatMixedMaterializes(t *testing.T) {
+	c := Concat(Bytes([]byte{9, 8}), Virtual(2), Bytes([]byte{7}))
+	if c.IsVirtual() || c.Len() != 5 {
+		t.Fatalf("concat mixed: len=%d virtual=%v", c.Len(), c.IsVirtual())
+	}
+	want := []byte{9, 8, 0, 0, 7}
+	d := c.Data()
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("concat data = %v, want %v", d, want)
+		}
+	}
+}
+
+func TestConcatEmpty(t *testing.T) {
+	if c := Concat(); c.Len() != 0 {
+		t.Fatalf("Concat() len = %d", c.Len())
+	}
+	if c := Concat(Empty, Empty); c.Len() != 0 {
+		t.Fatalf("Concat(Empty,Empty) len = %d", c.Len())
+	}
+}
+
+func TestEqual(t *testing.T) {
+	cases := []struct {
+		a, b Buf
+		want bool
+	}{
+		{Bytes([]byte{1, 2}), Bytes([]byte{1, 2}), true},
+		{Bytes([]byte{1, 2}), Bytes([]byte{1, 3}), false},
+		{Bytes([]byte{1, 2}), Bytes([]byte{1, 2, 3}), false},
+		{Virtual(3), Virtual(3), true},
+		{Virtual(3), Bytes([]byte{0, 0, 0}), true},
+		{Virtual(3), Bytes([]byte{0, 1, 0}), false},
+		{Empty, Virtual(0), true},
+	}
+	for i, c := range cases {
+		if got := Equal(c.a, c.b); got != c.want {
+			t.Errorf("case %d: Equal(%v,%v) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPatternDeterministic(t *testing.T) {
+	a, b := Pattern(64, 7), Pattern(64, 7)
+	if !Equal(a, b) {
+		t.Fatal("Pattern not deterministic")
+	}
+	c := Pattern(64, 8)
+	if Equal(a, c) {
+		t.Fatal("Pattern ignores seed")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if got := Virtual(4).String(); got != "Buf(virtual, 4 bytes)" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := String("hi").String(); got != "Buf(2 bytes)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// Property: slicing then concatenating reconstructs the original content.
+func TestSliceConcatRoundTrip(t *testing.T) {
+	f := func(data []byte, cutRaw uint8) bool {
+		b := Bytes(data)
+		cut := 0
+		if len(data) > 0 {
+			cut = int(cutRaw) % (len(data) + 1)
+		}
+		back := Concat(b.Slice(0, cut), b.Slice(cut, b.Len()))
+		return Equal(b, back)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

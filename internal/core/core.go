@@ -1,0 +1,173 @@
+// Package core composes the simulated testbed: nodes (host CPU, PCI bus,
+// kernel, adapters) wired onto Myrinet and Gigabit Ethernet fabrics —
+// the paper's pair of Dell PowerEdge 6350 servers with a LANai 9 Myrinet
+// adapter and an Intel Pro1000 on each (§4.2).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/gige"
+	"repro/internal/gm"
+	"repro/internal/hostos"
+	"repro/internal/hw"
+	"repro/internal/inet"
+	"repro/internal/params"
+	"repro/internal/qpipnic"
+	"repro/internal/sim"
+)
+
+// NodeConfig selects the adapters a node carries.
+type NodeConfig struct {
+	// QPIP attaches a QPIP adapter (implies the Myrinet fabric).
+	QPIP bool
+	// QPIPMTU is the QPIP native MTU (default 16 KB, paper §4.2.1).
+	QPIPMTU int
+	// QPIPChecksum selects receive checksum placement.
+	QPIPChecksum qpipnic.ChecksumMode
+	// QPIPPipelinedTX / QPIPNoDelAck are ablation knobs.
+	QPIPPipelinedTX bool
+	QPIPNoDelAck    bool
+	// GigE attaches a Pro1000-class adapter running the host stack.
+	GigE bool
+	// GigEMTU is the Ethernet MTU (1500 default; 9000 jumbo).
+	GigEMTU int
+	// GM attaches a Myrinet adapter as an IP device (the IP/Myrinet
+	// baseline, 9000 B MTU default).
+	GM bool
+	// GMMTU overrides the GM IP MTU.
+	GMMTU int
+}
+
+// Node is one simulated server.
+type Node struct {
+	Index int
+	CPU   *sim.CPU
+	Bus   *hw.PCIBus
+	// Kernel is the host OS (present whenever GigE or GM is attached, or
+	// when the node runs socket applications).
+	Kernel *hostos.Kernel
+	// QPIP is the offloaded adapter, nil if not configured.
+	QPIP *qpipnic.NIC
+	// GigEDev / GMDev are the conventional adapters, nil if absent.
+	GigEDev *gige.Device
+	GMDev   *gm.Device
+
+	Addr4 inet.Addr4
+	Addr6 inet.Addr6
+}
+
+// Cluster is a set of nodes on shared fabrics.
+type Cluster struct {
+	Eng     *sim.Engine
+	Myrinet *fabric.Fabric
+	Eth     *fabric.Fabric
+	Routes6 *inet.Table6
+	Nodes   []*Node
+}
+
+// NewCluster builds n identically configured nodes.
+func NewCluster(n int, cfg NodeConfig) *Cluster {
+	eng := sim.NewEngine()
+	c := &Cluster{Eng: eng, Routes6: inet.NewTable6()}
+	needMyri := cfg.QPIP || cfg.GM
+	if needMyri {
+		c.Myrinet = fabric.New(eng, fabric.Config{
+			Name:         "myri",
+			Bandwidth:    params.MyrinetBandwidth,
+			LinkOverhead: params.MyrinetHeaderBytes,
+			CutThrough:   true,
+			HopLatency:   params.MyrinetHopLatency,
+			PropDelay:    params.CableLatency,
+		})
+	}
+	if cfg.GigE {
+		mtu := cfg.GigEMTU
+		if mtu <= 0 {
+			mtu = params.MTUEthernet
+		}
+		c.Eth = fabric.New(eng, fabric.Config{
+			Name:         "eth",
+			Bandwidth:    params.GigEBandwidth,
+			MTU:          mtu,
+			LinkOverhead: params.EthernetOverhead,
+			HopLatency:   params.GigESwitchLatency,
+			PropDelay:    params.CableLatency,
+		})
+	}
+	for i := 0; i < n; i++ {
+		c.Nodes = append(c.Nodes, c.addNode(i, cfg))
+	}
+	// Static routing tables: every node knows every other (the paper's
+	// static address resolution, §4.1).
+	for _, a := range c.Nodes {
+		for _, b := range c.Nodes {
+			if a == b {
+				continue
+			}
+			if a.Kernel != nil {
+				switch {
+				case a.GigEDev != nil && b.GigEDev != nil:
+					a.Kernel.AddRoute(b.Addr4, a.GigEDev, b.GigEDev.Attachment())
+				case a.GMDev != nil && b.GMDev != nil:
+					a.Kernel.AddRoute(b.Addr4, a.GMDev, b.GMDev.Attachment())
+				}
+			}
+		}
+	}
+	return c
+}
+
+func (c *Cluster) addNode(i int, cfg NodeConfig) *Node {
+	eng := c.Eng
+	name := fmt.Sprintf("node%d", i)
+	node := &Node{
+		Index: i,
+		CPU:   sim.NewCPU(eng, name+".cpu0", params.HostClockHz),
+		Bus:   hw.NewPCIBus(eng, name+".pci", params.PCIBandwidth, params.PCIDMASetup, params.PCIWriteLatency),
+		Addr4: inet.NodeAddr4(i),
+		Addr6: inet.NodeAddr6(i),
+	}
+	if cfg.GigE || cfg.GM {
+		node.Kernel = hostos.NewKernel(eng, name, node.Addr4, node.CPU, node.Bus)
+	}
+	if cfg.QPIP {
+		node.QPIP = qpipnic.New(eng, c.Myrinet, qpipnic.Config{
+			Name:        name + ".qpip",
+			Addr:        node.Addr6,
+			MTU:         cfg.QPIPMTU,
+			Checksum:    cfg.QPIPChecksum,
+			PipelinedTX: cfg.QPIPPipelinedTX,
+			NoDelAck:    cfg.QPIPNoDelAck,
+			HostCPU:     node.CPU,
+			Bus:         node.Bus,
+			Routes:      c.Routes6,
+		})
+		c.Routes6.Add(node.Addr6, node.QPIP.Attachment())
+	}
+	if cfg.GigE {
+		node.GigEDev = gige.New(eng, node.Kernel, c.Eth, gige.Config{
+			Name: name + ".eth0",
+			MTU:  cfg.GigEMTU,
+		})
+	}
+	if cfg.GM {
+		node.GMDev = gm.New(eng, node.Kernel, c.Myrinet, gm.Config{
+			Name: name + ".myri0",
+			MTU:  cfg.GMMTU,
+		})
+	}
+	return node
+}
+
+// Spawn starts an application process on the cluster.
+func (c *Cluster) Spawn(name string, fn func(*sim.Proc)) *sim.Proc {
+	return c.Eng.Spawn(name, fn)
+}
+
+// Run drives the simulation until quiescent.
+func (c *Cluster) Run() { c.Eng.Run() }
+
+// RunFor drives the simulation for d of simulated time.
+func (c *Cluster) RunFor(d sim.Time) { c.Eng.RunFor(d) }

@@ -1,0 +1,174 @@
+// Package fabric simulates the two interconnects of the paper's testbed:
+// a Myrinet-style SAN (switched, source-routed, cut-through, arbitrary MTU,
+// 2.0 Gb/s full-duplex links — paper §4.1) and a Gigabit Ethernet segment
+// with a store-and-forward switch.
+//
+// Topology is a single star: every attachment connects to one switch with
+// a dedicated full-duplex link, matching the two-node-plus-switch testbed.
+// Each direction of each link is a sim.Server, so serialization time and
+// link contention are modeled; cut-through versus store-and-forward decides
+// whether the switch re-serializes the frame.
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Frame is a link-layer frame in flight. Payload is opaque to the fabric.
+type Frame struct {
+	Src, Dst int
+	// WireSize is the total bytes the frame occupies on the wire,
+	// including link-layer overhead.
+	WireSize int
+	// Payload is the network-layer packet (owned by the stacks).
+	Payload any
+}
+
+// Handler receives delivered frames at an attachment.
+type Handler func(*Frame)
+
+type port struct {
+	up      *sim.Server // attachment -> switch
+	down    *sim.Server // switch -> attachment
+	handler Handler
+}
+
+// Config describes a fabric.
+type Config struct {
+	Name string
+	// Bandwidth in bytes/second per link direction.
+	Bandwidth float64
+	// MTU is the maximum network-layer packet the fabric accepts; 0 means
+	// unlimited (Myrinet supports "arbitrary sized MTUs", paper §4.1).
+	MTU int
+	// LinkOverhead is added to every frame's wire size (headers, gaps).
+	LinkOverhead int
+	// CutThrough selects Myrinet-style forwarding: the switch adds only
+	// HopLatency. Store-and-forward switches re-serialize the frame.
+	CutThrough bool
+	// HopLatency is the switch forwarding latency.
+	HopLatency sim.Time
+	// PropDelay is total cable propagation.
+	PropDelay sim.Time
+}
+
+// Fabric is a star-topology switched network.
+type Fabric struct {
+	eng   *sim.Engine
+	cfg   Config
+	ports []*port
+	// Drop, when non-nil, discards frames for which it returns true —
+	// loss injection for tests. n counts frames ever sent.
+	Drop func(f *Frame, n uint64) bool
+
+	sent, delivered, dropped uint64
+	bytesSent                uint64
+}
+
+// New builds an empty fabric on eng.
+func New(eng *sim.Engine, cfg Config) *Fabric {
+	if cfg.Bandwidth <= 0 {
+		panic("fabric: bandwidth must be positive")
+	}
+	return &Fabric{eng: eng, cfg: cfg}
+}
+
+// Attach adds an endpoint and returns its attachment id.
+func (f *Fabric) Attach(h Handler) int {
+	id := len(f.ports)
+	f.ports = append(f.ports, &port{
+		up:      sim.NewServer(f.eng, fmt.Sprintf("%s.port%d.up", f.cfg.Name, id)),
+		down:    sim.NewServer(f.eng, fmt.Sprintf("%s.port%d.down", f.cfg.Name, id)),
+		handler: h,
+	})
+	return id
+}
+
+// Ports reports the number of attachments.
+func (f *Fabric) Ports() int { return len(f.ports) }
+
+// MTU reports the fabric's network-layer MTU (0 = unlimited).
+func (f *Fabric) MTU() int { return f.cfg.MTU }
+
+// serTime is the serialization time of size bytes at link rate.
+func (f *Fabric) serTime(size int) sim.Time {
+	return sim.Time(float64(size) * 1e9 / f.cfg.Bandwidth)
+}
+
+// Stats reports (sent, delivered, dropped) frame counts.
+func (f *Fabric) Stats() (sent, delivered, dropped uint64) {
+	return f.sent, f.delivered, f.dropped
+}
+
+// Send injects a frame. onTxDone (may be nil) runs when the sender's link
+// transmitter finishes serializing — the moment a NIC's transmit engine is
+// free for the next frame. Delivery to the destination handler happens
+// after switch forwarding and propagation.
+func (f *Fabric) Send(frame *Frame, onTxDone func()) {
+	if frame.Src < 0 || frame.Src >= len(f.ports) || frame.Dst < 0 || frame.Dst >= len(f.ports) {
+		panic(fmt.Sprintf("fabric %s: bad attachment %d->%d", f.cfg.Name, frame.Src, frame.Dst))
+	}
+	netSize := frame.WireSize
+	if f.cfg.MTU > 0 && netSize-f.cfg.LinkOverhead > f.cfg.MTU {
+		panic(fmt.Sprintf("fabric %s: frame of %d bytes exceeds MTU %d — stacks must segment",
+			f.cfg.Name, netSize-f.cfg.LinkOverhead, f.cfg.MTU))
+	}
+	n := f.sent
+	f.sent++
+	f.bytesSent += uint64(netSize)
+	if f.Drop != nil && f.Drop(frame, n) {
+		// The wire still carries the frame to the point of loss; charge
+		// the sender's serialization but deliver nothing.
+		f.dropped++
+		f.ports[frame.Src].up.Do(f.serTime(netSize), "fabric.tx.dropped", onTxDone)
+		return
+	}
+	src, dst := f.ports[frame.Src], f.ports[frame.Dst]
+	ser := f.serTime(netSize)
+	src.up.Do(ser, "fabric.tx", func() {
+		if onTxDone != nil {
+			onTxDone()
+		}
+		if f.cfg.CutThrough {
+			// Cut-through: the destination link streamed concurrently;
+			// the last byte arrives one hop latency + propagation after
+			// it left the source.
+			f.eng.After(f.cfg.HopLatency+f.cfg.PropDelay, "fabric.deliver", func() {
+				f.deliver(dst, frame)
+			})
+			return
+		}
+		// Store-and-forward: the switch re-serializes onto the
+		// destination link (modeled with contention).
+		f.eng.After(f.cfg.HopLatency, "fabric.switch", func() {
+			dst.down.Do(ser, "fabric.fwd", func() {
+				f.eng.After(f.cfg.PropDelay, "fabric.deliver", func() {
+					f.deliver(dst, frame)
+				})
+			})
+		})
+	})
+}
+
+func (f *Fabric) deliver(p *port, frame *Frame) {
+	f.delivered++
+	if p.handler != nil {
+		p.handler(frame)
+	}
+}
+
+// Utilization reports the busiest single link direction's utilization.
+func (f *Fabric) Utilization() float64 {
+	max := 0.0
+	for _, p := range f.ports {
+		if u := p.up.Utilization(); u > max {
+			max = u
+		}
+		if u := p.down.Utilization(); u > max {
+			max = u
+		}
+	}
+	return max
+}

@@ -1,0 +1,157 @@
+// Package gm models the Myrinet adapter running Myricom's GM software as
+// an IP link device — the paper's IP/Myrinet baseline (§4.2.1: "the
+// Myrinet adapter running Myricom's GM v.1.4 software (9000 Byte MTU)").
+// The host-based IP stack treats it as an Ethernet-like device; the LANai
+// firmware moves each packet through adapter SRAM, so every packet pays
+// firmware handling plus a store-and-forward DMA on each side, serialized
+// by the single firmware loop — the same structural costs as the QPIP
+// prototype, but with all protocol processing still on the host.
+package gm
+
+import (
+	"repro/internal/fabric"
+	"repro/internal/hostos"
+	"repro/internal/hw"
+	"repro/internal/params"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// FwPerPacketUS is the GM firmware's per-packet handling cost (token
+// matching, staging, route prepend) on the 133 MHz LANai.
+const FwPerPacketUS = 15.0
+
+// Config parameterizes a GM adapter.
+type Config struct {
+	Name string
+	// MTU of the IP interface (9000 in the paper's runs).
+	MTU int
+	// CoalescePkts / CoalesceDelay configure interrupt moderation.
+	CoalescePkts  int
+	CoalesceDelay sim.Time
+}
+
+// Device is one GM adapter.
+type Device struct {
+	cfg Config
+	eng *sim.Engine
+	k   *hostos.Kernel
+	bus *hw.PCIBus
+	fab *fabric.Fabric
+	att int
+	irq *hw.IRQLine
+	// lanai serializes firmware handling: one packet at a time through
+	// SRAM, like the GM event loop.
+	lanai *sim.CPU
+
+	rxQ []*wire.Packet
+
+	// txQ serializes outbound packets through the firmware loop: one
+	// packet stages through SRAM and onto the wire before the next
+	// starts, as in GM's event loop.
+	txQ    []txItem
+	txBusy bool
+
+	txPkts, rxPkts uint64
+}
+
+type txItem struct {
+	pkt *wire.Packet
+	dst int
+}
+
+// New attaches a GM adapter to the Myrinet fabric.
+func New(eng *sim.Engine, k *hostos.Kernel, fab *fabric.Fabric, cfg Config) *Device {
+	if cfg.MTU <= 0 {
+		cfg.MTU = params.MTUJumbo
+	}
+	if cfg.CoalescePkts == 0 {
+		cfg.CoalescePkts = 4
+	}
+	if cfg.CoalesceDelay == 0 {
+		cfg.CoalesceDelay = 50 * sim.Microsecond
+	}
+	d := &Device{
+		cfg:   cfg,
+		eng:   eng,
+		k:     k,
+		bus:   k.Bus(),
+		fab:   fab,
+		lanai: sim.NewCPU(eng, cfg.Name+".lanai", params.NICClockHz),
+	}
+	d.att = fab.Attach(d.receive)
+	d.irq = hw.NewIRQLine(eng, d.isr)
+	d.irq.CoalescePkts = cfg.CoalescePkts
+	d.irq.CoalesceDelay = cfg.CoalesceDelay
+	return d
+}
+
+// Name implements hostos.NetDevice.
+func (d *Device) Name() string { return d.cfg.Name }
+
+// MTU implements hostos.NetDevice.
+func (d *Device) MTU() int { return d.cfg.MTU }
+
+// Attachment reports the fabric attachment id.
+func (d *Device) Attachment() int { return d.att }
+
+// Stats reports (txPkts, rxPkts).
+func (d *Device) Stats() (tx, rx uint64) { return d.txPkts, d.rxPkts }
+
+// Transmit implements hostos.NetDevice: firmware stages the packet
+// through SRAM (DMA at the GM IP-mode rate), then injects it. The loop
+// handles one outbound packet at a time.
+func (d *Device) Transmit(pkt *wire.Packet, dstAtt int) {
+	d.txPkts++
+	d.txQ = append(d.txQ, txItem{pkt: pkt, dst: dstAtt})
+	d.kickTx()
+}
+
+func (d *Device) kickTx() {
+	if d.txBusy || len(d.txQ) == 0 {
+		return
+	}
+	d.txBusy = true
+	it := d.txQ[0]
+	d.txQ = d.txQ[1:]
+	d.lanai.Do(params.US(FwPerPacketUS), d.cfg.Name+".fw.tx", func() {
+		d.bus.BurstAt(it.pkt.Len(), params.GMDMABandwidth, d.cfg.Name+".txdma", func() {
+			d.fab.Send(&fabric.Frame{
+				Src:      d.att,
+				Dst:      it.dst,
+				WireSize: it.pkt.Len() + params.MyrinetHeaderBytes,
+				Payload:  it.pkt,
+			}, func() {
+				d.txBusy = false
+				d.kickTx()
+			})
+		})
+	})
+}
+
+// receive stages an arriving packet through SRAM and interrupts the host.
+func (d *Device) receive(f *fabric.Frame) {
+	pkt, ok := f.Payload.(*wire.Packet)
+	if !ok {
+		return
+	}
+	d.rxPkts++
+	d.lanai.Do(params.US(FwPerPacketUS), d.cfg.Name+".fw.rx", func() {
+		d.bus.BurstAt(pkt.Len(), params.GMDMABandwidth, d.cfg.Name+".rxdma", func() {
+			d.rxQ = append(d.rxQ, pkt)
+			d.irq.Raise()
+		})
+	})
+}
+
+// isr charges one interrupt and hands reaped packets to the kernel.
+func (d *Device) isr(events int) {
+	q := d.rxQ
+	d.rxQ = nil
+	cost := params.US(params.HostIRQUS + params.HostDriverRxReapUS*float64(len(q)))
+	d.k.CPU().Do(cost, d.cfg.Name+".isr", func() {
+		for _, pkt := range q {
+			d.k.DeliverPacket(pkt)
+		}
+	})
+}

@@ -1,0 +1,434 @@
+// Package hostos models the host-based inter-network stack the paper
+// compares against (§4.2): a Linux-2.4-class kernel on a 550 MHz
+// Pentium-III, with BSD sockets over an in-kernel IPv4 TCP/UDP stack.
+// Unlike QPIP — where all protocol processing lives in the adapter — every
+// byte here is copied and checksummed by the host CPU and every packet
+// pays syscall, protocol, driver, interrupt and softirq costs on the host.
+// Those cycles are exactly what Figure 4's CPU-utilization bars and
+// Table 1's 29.9 us/16445-cycle overhead measure.
+package hostos
+
+import (
+	"fmt"
+
+	"repro/internal/buf"
+	"repro/internal/hw"
+	"repro/internal/inet"
+	"repro/internal/params"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/udp"
+	"repro/internal/wire"
+)
+
+// NetDevice is a network adapter as the kernel sees it: an output queue
+// with an MTU. Devices deliver received packets back through
+// Kernel.DeliverPacket after their interrupt-side costs.
+type NetDevice interface {
+	Name() string
+	MTU() int
+	// Transmit queues one packet for the wire; the driver-side CPU cost
+	// has already been charged by the kernel.
+	Transmit(pkt *wire.Packet, dstAttachment int)
+}
+
+// route maps a destination to a device and fabric attachment.
+type route struct {
+	dev NetDevice
+	att int
+}
+
+// Stats aggregates kernel-level counters.
+type Stats struct {
+	SegsOut, SegsIn uint64
+	AcksProcessed   uint64
+	Syscalls        uint64
+	SoftIRQs        uint64
+	BytesCopiedIn   uint64
+	BytesCopiedOut  uint64
+	ChecksumErrors  uint64
+	DroppedNoPort   uint64
+	Retransmits     uint64
+}
+
+// Kernel is one host's operating system instance.
+type Kernel struct {
+	eng  *sim.Engine
+	name string
+	// cpu is the processor the benchmark runs on (CPU 0 of the
+	// PowerEdge's four); kernel costs and application compute contend
+	// here, which is what makes utilization meaningful.
+	cpu *sim.CPU
+	bus *hw.PCIBus
+
+	addr   inet.Addr4
+	routes map[inet.Addr4]route
+
+	tcpConns  map[tcpKey]*Socket
+	listeners map[uint16]*Socket
+	udpPorts  *udp.PortSpace[*Socket]
+	nextPort  uint16
+	issCount  uint32
+	ipID      uint16
+
+	stats Stats
+}
+
+type tcpKey struct {
+	localPort  uint16
+	remoteAddr inet.Addr4
+	remotePort uint16
+}
+
+// NewKernel builds a host kernel running on cpu. Pass nil to create a
+// dedicated 550 MHz processor.
+func NewKernel(eng *sim.Engine, name string, addr inet.Addr4, cpu *sim.CPU, bus *hw.PCIBus) *Kernel {
+	if cpu == nil {
+		cpu = sim.NewCPU(eng, name+".cpu0", params.HostClockHz)
+	}
+	return &Kernel{
+		eng:       eng,
+		name:      name,
+		cpu:       cpu,
+		bus:       bus,
+		addr:      addr,
+		routes:    make(map[inet.Addr4]route),
+		tcpConns:  make(map[tcpKey]*Socket),
+		listeners: make(map[uint16]*Socket),
+		udpPorts:  udp.NewPortSpace[*Socket](),
+		nextPort:  32768,
+	}
+}
+
+// CPU exposes the host processor (utilization measurements and app work).
+func (k *Kernel) CPU() *sim.CPU { return k.cpu }
+
+// Bus exposes the host PCI bus.
+func (k *Kernel) Bus() *hw.PCIBus { return k.bus }
+
+// Engine exposes the simulation engine.
+func (k *Kernel) Engine() *sim.Engine { return k.eng }
+
+// Addr reports the host's IPv4 address.
+func (k *Kernel) Addr() inet.Addr4 { return k.addr }
+
+// Stats returns kernel counters.
+func (k *Kernel) Stats() Stats { return k.stats }
+
+// AddRoute binds a destination address to a device and attachment — the
+// quiescent-LAN ARP table of the testbed.
+func (k *Kernel) AddRoute(dst inet.Addr4, dev NetDevice, attachment int) {
+	k.routes[dst] = route{dev: dev, att: attachment}
+}
+
+// lookupRoute resolves a destination.
+func (k *Kernel) lookupRoute(dst inet.Addr4) (route, error) {
+	if dst == k.addr {
+		return route{dev: &loopback{k: k}, att: 0}, nil
+	}
+	r, ok := k.routes[dst]
+	if !ok {
+		return route{}, fmt.Errorf("hostos: no route to %v", dst)
+	}
+	return r, nil
+}
+
+// allocPort grabs an ephemeral TCP port.
+func (k *Kernel) allocPort() uint16 {
+	for {
+		p := k.nextPort
+		k.nextPort++
+		if k.nextPort == 0 {
+			k.nextPort = 32768
+		}
+		if k.listeners[p] != nil {
+			continue
+		}
+		inUse := false
+		for key := range k.tcpConns {
+			if key.localPort == p {
+				inUse = true
+				break
+			}
+		}
+		if !inUse {
+			return p
+		}
+	}
+}
+
+// charge runs a kernel cost on the host CPU in event context.
+func (k *Kernel) charge(d sim.Time, what string, done func()) {
+	k.cpu.Do(d, what, done)
+}
+
+// chargeUS is charge in microseconds.
+func (k *Kernel) chargeUS(us float64, what string, done func()) {
+	k.charge(params.US(us), what, done)
+}
+
+// perByte converts a cycles-per-byte cost over n bytes to time.
+func perByte(cyclesPerByte float64, n int) sim.Time {
+	return params.HostCycles(cyclesPerByte * float64(n))
+}
+
+// ---- Transmit path. ----
+
+// emitSegments runs tcp_output for each segment: protocol cost, software
+// checksum over the payload, driver enqueue, then the device.
+func (k *Kernel) emitSegments(s *Socket, segs []*tcp.Segment) {
+	for _, seg := range segs {
+		k.emitSegment(s, seg)
+	}
+}
+
+func (k *Kernel) emitSegment(s *Socket, seg *tcp.Segment) {
+	k.stats.SegsOut++
+	cost := params.US(params.HostTCPOutputUS+params.HostSkbUS+params.HostDriverTxUS) +
+		perByte(params.HostChecksumCyclesPerByte, seg.Payload.Len())
+	k.charge(cost, "tcp_output", func() {
+		l4 := seg.MarshalHeader()
+		tcp.SetChecksum(l4, inet.TransportChecksum4(k.addr, s.raddr, inet.ProtoTCP, l4, seg.Payload))
+		k.ipID++
+		pkt := &wire.Packet{
+			IsV4: true,
+			IPHdr: inet.Marshal4(&inet.Header4{
+				TotalLen: uint16(inet.IPv4HeaderLen + len(l4) + seg.Payload.Len()),
+				ID:       k.ipID,
+				DontFrag: true,
+				TTL:      64,
+				Protocol: inet.ProtoTCP,
+				Src:      k.addr,
+				Dst:      s.raddr,
+			}),
+			L4Hdr:   l4,
+			Payload: seg.Payload,
+		}
+		s.route.dev.Transmit(pkt, s.route.att)
+	})
+}
+
+// emitUDP transmits one datagram.
+func (k *Kernel) emitUDP(s *Socket, payload buf.Buf, dst inet.Addr4, dstPort uint16) error {
+	r, err := k.lookupRoute(dst)
+	if err != nil {
+		return err
+	}
+	if udp.HeaderLen+payload.Len() > r.dev.MTU()-inet.IPv4HeaderLen {
+		return fmt.Errorf("hostos: datagram exceeds device MTU %d", r.dev.MTU())
+	}
+	cost := params.US(params.HostUDPOutputUS+params.HostSkbUS+params.HostDriverTxUS) +
+		perByte(params.HostChecksumCyclesPerByte, payload.Len())
+	k.charge(cost, "udp_output", func() {
+		l4 := udp.Marshal4(k.addr, dst, s.localPort, dstPort, payload)
+		k.ipID++
+		pkt := &wire.Packet{
+			IsV4: true,
+			IPHdr: inet.Marshal4(&inet.Header4{
+				TotalLen: uint16(inet.IPv4HeaderLen + len(l4) + payload.Len()),
+				ID:       k.ipID,
+				TTL:      64,
+				Protocol: inet.ProtoUDP,
+				Src:      k.addr,
+				Dst:      dst,
+			}),
+			L4Hdr:   l4,
+			Payload: payload,
+		}
+		r.dev.Transmit(pkt, r.att)
+	})
+	return nil
+}
+
+// ---- Receive path. ----
+
+// DeliverPacket is the device->kernel handoff: the device has charged its
+// interrupt-side costs; the kernel charges softirq protocol processing.
+func (k *Kernel) DeliverPacket(pkt *wire.Packet) {
+	k.stats.SoftIRQs++
+	k.chargeUS(params.HostSoftirqPerPktUS, "softirq", func() {
+		k.inputPacket(pkt)
+	})
+}
+
+func (k *Kernel) inputPacket(pkt *wire.Packet) {
+	ip4, err := inet.Parse4(pkt.IPHdr)
+	if err != nil {
+		k.stats.ChecksumErrors++
+		return
+	}
+	switch ip4.Protocol {
+	case inet.ProtoTCP:
+		k.inputTCP(&ip4, pkt)
+	case inet.ProtoUDP:
+		k.inputUDP(&ip4, pkt)
+	default:
+		k.stats.DroppedNoPort++
+	}
+}
+
+func (k *Kernel) inputTCP(ip4 *inet.Header4, pkt *wire.Packet) {
+	seg, _, err := tcp.ParseHeader(pkt.L4Hdr)
+	if err != nil {
+		k.stats.ChecksumErrors++
+		return
+	}
+	seg.Payload = pkt.Payload
+	// Software checksum verification over the segment.
+	verify := perByte(params.HostChecksumCyclesPerByte, len(pkt.L4Hdr)+pkt.Payload.Len())
+	isData := pkt.Payload.Len() > 0
+	procCost := params.US(params.HostTCPAckProcUS + params.HostSkbUS)
+	if isData {
+		procCost = params.US(params.HostTCPInputUS + params.HostSkbUS)
+		k.stats.SegsIn++
+	} else {
+		k.stats.AcksProcessed++
+	}
+	k.charge(verify+procCost, "tcp_input", func() {
+		sum := inet.PseudoSum4(ip4.Src, ip4.Dst, inet.ProtoTCP, len(pkt.L4Hdr)+pkt.Payload.Len())
+		sum = inet.Sum(sum, pkt.L4Hdr)
+		sum = inet.SumBuf(sum, pkt.Payload)
+		if inet.Fold(sum) != 0xffff {
+			k.stats.ChecksumErrors++
+			return
+		}
+		key := tcpKey{seg.DstPort, ip4.Src, seg.SrcPort}
+		s := k.tcpConns[key]
+		if s == nil {
+			if seg.Flags.Has(tcp.SYN) && !seg.Flags.Has(tcp.ACK) {
+				k.acceptSYN(&seg, ip4)
+				return
+			}
+			k.stats.DroppedNoPort++
+			return
+		}
+		now := int64(k.eng.Now())
+		acts := s.conn.Input(&seg, now)
+		k.applyActions(s, acts)
+	})
+}
+
+func (k *Kernel) inputUDP(ip4 *inet.Header4, pkt *wire.Packet) {
+	h, plen, err := udp.Parse(pkt.L4Hdr)
+	if err != nil || plen != pkt.Payload.Len() {
+		k.stats.ChecksumErrors++
+		return
+	}
+	verify := perByte(params.HostChecksumCyclesPerByte, len(pkt.L4Hdr)+pkt.Payload.Len())
+	k.charge(verify+params.US(params.HostUDPInputUS+params.HostSkbUS), "udp_input", func() {
+		if udp.Verify4(ip4.Src, ip4.Dst, pkt.L4Hdr, pkt.Payload) != nil {
+			k.stats.ChecksumErrors++
+			return
+		}
+		s, ok := k.udpPorts.Lookup(h.DstPort)
+		if !ok {
+			k.stats.DroppedNoPort++
+			return
+		}
+		s.enqueueDatagram(pkt.Payload, ip4.Src, h.SrcPort)
+	})
+}
+
+// acceptSYN creates a child socket on a listening port.
+func (k *Kernel) acceptSYN(seg *tcp.Segment, ip4 *inet.Header4) {
+	lst := k.listeners[seg.DstPort]
+	if lst == nil {
+		k.stats.DroppedNoPort++
+		return
+	}
+	r, err := k.lookupRoute(ip4.Src)
+	if err != nil {
+		k.stats.DroppedNoPort++
+		return
+	}
+	if len(lst.acceptQ) >= lst.backlog {
+		return // full backlog: drop, client retries
+	}
+	child := newSocket(k, TCPSock)
+	child.localPort = seg.DstPort
+	child.raddr, child.rport = ip4.Src, seg.SrcPort
+	child.route = r
+	child.conn = tcp.NewConn(k.connConfig(seg.DstPort, seg.SrcPort, r.dev.MTU(), lst.noDelay))
+	k.tcpConns[tcpKey{seg.DstPort, ip4.Src, seg.SrcPort}] = child
+	now := int64(k.eng.Now())
+	acts, err := child.conn.AcceptSYN(seg, now)
+	if err != nil {
+		return
+	}
+	child.pendingAccept = lst
+	k.applyActions(child, acts)
+}
+
+// connConfig builds a stream-mode TCB config.
+func (k *Kernel) connConfig(local, remote uint16, mtu int, noDelay bool) tcp.Config {
+	k.issCount += 64000
+	return tcp.Config{
+		LocalPort:   local,
+		RemotePort:  remote,
+		Mode:        tcp.Stream,
+		MSS:         mtu - inet.IPv4HeaderLen - tcp.BaseHeaderLen - tcp.TimestampOptLen,
+		RecvWindow:  defaultRcvBuf,
+		WindowScale: true,
+		Timestamps:  true,
+		DelayedAck:  true,
+		NoDelay:     noDelay,
+		ISS:         tcp.Seq(k.issCount),
+	}
+}
+
+// applyActions executes TCB outputs in kernel context.
+func (k *Kernel) applyActions(s *Socket, acts tcp.Actions) {
+	if len(acts.Segments) > 0 {
+		k.emitSegments(s, acts.Segments)
+	}
+	for _, d := range acts.Delivered {
+		s.enqueueData(d)
+	}
+	if acts.AckedBytes > 0 {
+		s.onAcked()
+	}
+	if acts.Established {
+		s.onEstablished()
+	}
+	if acts.PeerClosed {
+		s.onPeerClosed()
+	}
+	if acts.Reset {
+		s.onReset()
+	}
+	if acts.Closed {
+		s.onClosed()
+	}
+	k.syncTimer(s)
+}
+
+// syncTimer aligns the socket's kernel timer with the TCB.
+func (k *Kernel) syncTimer(s *Socket) {
+	if s.timer != nil {
+		s.timer.Cancel()
+		s.timer = nil
+	}
+	if s.conn == nil {
+		return
+	}
+	deadline, ok := s.conn.NextTimeout()
+	if !ok {
+		return
+	}
+	at := sim.Time(deadline)
+	if at < k.eng.Now() {
+		at = k.eng.Now()
+	}
+	s.timer = k.eng.At(at, "hostos.tcp.timer", func() {
+		s.timer = nil
+		// Timer processing runs in softirq context.
+		k.chargeUS(2.0, "tcp_timer", func() {
+			now := int64(k.eng.Now())
+			acts := s.conn.OnTimer(now)
+			if len(acts.Segments) > 0 {
+				k.stats.Retransmits += uint64(len(acts.Segments))
+			}
+			k.applyActions(s, acts)
+		})
+	})
+}

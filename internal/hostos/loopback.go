@@ -1,0 +1,30 @@
+package hostos
+
+import "repro/internal/wire"
+
+// loopback is the kernel's internal device: packets re-enter the receive
+// path on the same host with no wire, no DMA and no interrupt — only
+// protocol processing remains. Measuring RTT through it is how the paper
+// derives the host-based stack's per-message overhead: "The overhead for
+// the host-based inter-network stack was determined by measuring RTT
+// through the loopback interface on an individual host" (§4.2.2).
+type loopback struct {
+	k *Kernel
+}
+
+// LoopbackMTU matches the Linux lo default of the era.
+const LoopbackMTU = 16436
+
+// Name implements NetDevice.
+func (l *loopback) Name() string { return "lo" }
+
+// MTU implements NetDevice.
+func (l *loopback) MTU() int { return LoopbackMTU }
+
+// Transmit implements NetDevice: immediate software delivery back into
+// the local stack.
+func (l *loopback) Transmit(pkt *wire.Packet, _ int) {
+	l.k.eng.After(0, "lo.deliver", func() {
+		l.k.DeliverPacket(pkt)
+	})
+}

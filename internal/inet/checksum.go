@@ -1,0 +1,58 @@
+// Package inet implements the inter-network protocol substrate of QPIP:
+// the Internet checksum, IPv4 and IPv6 header marshaling, addressing, and
+// the static route/neighbor tables the prototype used (paper §4.1: "Address
+// resolution is provided by a static table that maps IPv6 addresses to
+// switch routes").
+package inet
+
+import "repro/internal/buf"
+
+// Sum computes the one's-complement running sum over data, folded to 16
+// bits, starting from an initial partial sum. Byte slices of odd length are
+// padded with a zero byte, per RFC 1071.
+func Sum(initial uint32, data []byte) uint32 {
+	sum := initial
+	n := len(data)
+	i := 0
+	for ; i+1 < n; i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if i < n {
+		sum += uint32(data[i]) << 8
+	}
+	return sum
+}
+
+// SumBuf adds a payload buffer to a running sum. Virtual buffers (implicit
+// zeros) contribute nothing, but odd-length virtual buffers still shift the
+// byte alignment of subsequent data; callers in this codebase always place
+// payload last, so no alignment handling is needed.
+func SumBuf(initial uint32, b buf.Buf) uint32 {
+	if b.IsVirtual() || b.Len() == 0 {
+		return initial
+	}
+	return Sum(initial, b.Data())
+}
+
+// Fold reduces a running sum to a 16-bit one's-complement checksum value
+// (not yet inverted).
+func Fold(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return uint16(sum)
+}
+
+// Finish folds and inverts a running sum, producing the value stored in a
+// checksum field. An all-zero result is returned as 0xffff for UDP, but that
+// substitution is protocol-specific and left to callers.
+func Finish(sum uint32) uint16 {
+	return ^Fold(sum)
+}
+
+// Checksum computes the complete Internet checksum of data.
+func Checksum(data []byte) uint16 { return Finish(Sum(0, data)) }
+
+// Valid reports whether data (which includes its checksum field) sums to
+// the all-ones pattern required by RFC 1071.
+func Valid(data []byte) bool { return Fold(Sum(0, data)) == 0xffff }

@@ -1,0 +1,278 @@
+package nbd_test
+
+import (
+	"testing"
+
+	"repro/internal/buf"
+	"repro/internal/core"
+	"repro/internal/hostos"
+	"repro/internal/nbd"
+	"repro/internal/params"
+	"repro/internal/qpipnic"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/verbs"
+)
+
+const (
+	diskSize  = 64 << 20
+	nbdPort   = 10809
+	testBytes = 2 << 20
+)
+
+func TestProtoRoundTrip(t *testing.T) {
+	req := nbd.Request{Type: nbd.CmdWrite, Handle: 0xdeadbeef, Offset: 123456, Length: 65536}
+	got, err := nbd.ParseRequest(buf.Bytes(nbd.MarshalRequest(&req)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != req {
+		t.Errorf("request round trip: %+v vs %+v", got, req)
+	}
+	rep := nbd.Reply{Error: 5, Handle: 99}
+	gotRep, err := nbd.ParseReply(buf.Bytes(nbd.MarshalReply(&rep)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRep != rep {
+		t.Errorf("reply round trip: %+v vs %+v", gotRep, rep)
+	}
+	if _, err := nbd.ParseRequest(buf.Bytes(make([]byte, 28))); err == nil {
+		t.Error("zero magic accepted")
+	}
+	if _, err := nbd.ParseReply(buf.Bytes([]byte{1})); err == nil {
+		t.Error("short reply accepted")
+	}
+}
+
+// sockSetup builds a sockets NBD pair over the given cluster (node 0 is
+// the client, node 1 runs the server and disk) and runs fn as the client
+// application with a mounted filesystem.
+func sockSetup(t *testing.T, c *core.Cluster, fn func(p *sim.Proc, fs *storage.FS)) {
+	t.Helper()
+	disk := storage.NewDisk(c.Eng, "server.disk", diskSize)
+	c.Spawn("nbd-server", func(p *sim.Proc) {
+		lst := c.Nodes[1].Kernel.NewSocket(hostos.TCPSock)
+		if err := lst.Listen(nbdPort, 4); err != nil {
+			t.Errorf("Listen: %v", err)
+			return
+		}
+		s := lst.Accept(p)
+		s.SetNoDelay(true)
+		s.SetSndBuf(256 * 1024)
+		nbd.ServeSock(p, c.Nodes[1].CPU, s, disk)
+	})
+	c.Spawn("nbd-client", func(p *sim.Proc) {
+		s := c.Nodes[0].Kernel.NewSocket(hostos.TCPSock)
+		s.SetNoDelay(true)
+		s.SetSndBuf(256 * 1024)
+		if err := s.Connect(p, c.Nodes[1].Addr4, nbdPort); err != nil {
+			t.Errorf("Connect: %v", err)
+			return
+		}
+		cli := nbd.NewSockClient(c.Eng, c.Nodes[0].CPU, s, diskSize, params.NBDQueueDepth)
+		fs := storage.NewFS(cli, c.Nodes[0].CPU, 4<<20)
+		fn(p, fs)
+	})
+	c.Run()
+}
+
+// qpSetup builds a QPIP NBD pair (9000 B MTU per the paper's NBD runs).
+func qpSetup(t *testing.T, fn func(p *sim.Proc, fs *storage.FS)) *core.Cluster {
+	t.Helper()
+	c := core.NewCluster(2, core.NodeConfig{QPIP: true, QPIPMTU: params.MTUJumbo})
+	disk := storage.NewDisk(c.Eng, "server.disk", diskSize)
+	maxMsg := c.Nodes[0].QPIP.MaxMessage()
+
+	c.Spawn("nbd-server", func(p *sim.Proc) {
+		scq := verbs.NewCQ(c.Nodes[1].QPIP, 512)
+		rcq := verbs.NewCQ(c.Nodes[1].QPIP, 512)
+		qp, err := verbs.NewQP(c.Nodes[1].QPIP, verbs.QPConfig{
+			Transport: verbs.Reliable, SendCQ: scq, RecvCQ: rcq,
+			SendDepth: 256, RecvDepth: 256,
+		})
+		if err != nil {
+			t.Errorf("server NewQP: %v", err)
+			return
+		}
+		lst, err := c.Nodes[1].QPIP.Listen(nbdPort)
+		if err != nil {
+			t.Errorf("Listen: %v", err)
+			return
+		}
+		if err := lst.Post(qp); err != nil {
+			t.Errorf("Post: %v", err)
+			return
+		}
+		if err := qp.WaitEstablished(p); err != nil {
+			t.Errorf("server establish: %v", err)
+			return
+		}
+		nbd.ServeQP(p, c.Nodes[1].CPU, qp, scq, rcq, maxMsg, disk)
+	})
+	c.Spawn("nbd-client", func(p *sim.Proc) {
+		scq := verbs.NewCQ(c.Nodes[0].QPIP, 512)
+		rcq := verbs.NewCQ(c.Nodes[0].QPIP, 512)
+		qp, err := verbs.NewQP(c.Nodes[0].QPIP, verbs.QPConfig{
+			Transport: verbs.Reliable, SendCQ: scq, RecvCQ: rcq,
+			SendDepth: 256, RecvDepth: 256,
+		})
+		if err != nil {
+			t.Errorf("client NewQP: %v", err)
+			return
+		}
+		if err := qp.Connect(p, c.Nodes[1].Addr6, nbdPort); err != nil {
+			t.Errorf("Connect: %v", err)
+			return
+		}
+		cli := nbd.NewQPClient(c.Eng, c.Nodes[0].CPU, qp, scq, rcq, maxMsg, diskSize, params.NBDQueueDepth)
+		fs := storage.NewFS(cli, c.Nodes[0].CPU, 4<<20)
+		fn(p, fs)
+	})
+	c.Run()
+	return c
+}
+
+func writeReadCheck(t *testing.T) func(p *sim.Proc, fs *storage.FS) {
+	return func(p *sim.Proc, fs *storage.FS) {
+		want := buf.Pattern(256*1024, 7)
+		if err := fs.WriteAt(p, 0, want); err != nil {
+			t.Errorf("WriteAt: %v", err)
+			return
+		}
+		if err := fs.Sync(p); err != nil {
+			t.Errorf("Sync: %v", err)
+			return
+		}
+		fs.Invalidate()
+		got, err := fs.ReadAt(p, 0, want.Len())
+		if err != nil {
+			t.Errorf("ReadAt: %v", err)
+			return
+		}
+		if !buf.Equal(got, want) {
+			t.Error("data corrupted through NBD")
+		}
+	}
+}
+
+func TestNBDSocketsGigERoundTrip(t *testing.T) {
+	c := core.NewCluster(2, core.NodeConfig{GigE: true})
+	sockSetup(t, c, writeReadCheck(t))
+}
+
+func TestNBDSocketsGMRoundTrip(t *testing.T) {
+	c := core.NewCluster(2, core.NodeConfig{GM: true})
+	sockSetup(t, c, writeReadCheck(t))
+}
+
+func TestNBDQPRoundTrip(t *testing.T) {
+	qpSetup(t, writeReadCheck(t))
+}
+
+// seqRead measures sequential read throughput after a priming write.
+func seqRead(t *testing.T, run func(*testing.T, func(p *sim.Proc, fs *storage.FS))) (mbps float64) {
+	t.Helper()
+	run(t, func(p *sim.Proc, fs *storage.FS) {
+		if err := fs.WriteAt(p, 0, buf.Virtual(testBytes)); err != nil {
+			t.Errorf("prime write: %v", err)
+			return
+		}
+		if err := fs.Sync(p); err != nil {
+			t.Errorf("sync: %v", err)
+			return
+		}
+		fs.Invalidate()
+		start := p.Now()
+		if _, err := fs.ReadAt(p, 0, testBytes); err != nil {
+			t.Errorf("read: %v", err)
+			return
+		}
+		mbps = float64(testBytes) / 1e6 / (p.Now() - start).Seconds()
+	})
+	return mbps
+}
+
+func TestNBDQPFasterThanSockets(t *testing.T) {
+	gige := seqRead(t, func(t *testing.T, fn func(p *sim.Proc, fs *storage.FS)) {
+		sockSetup(t, core.NewCluster(2, core.NodeConfig{GigE: true}), fn)
+	})
+	qp := seqRead(t, func(t *testing.T, fn func(p *sim.Proc, fs *storage.FS)) {
+		qpSetup(t, fn)
+	})
+	t.Logf("NBD sequential read: IP/GigE %.1f MB/s, QPIP %.1f MB/s", gige, qp)
+	if qp <= gige {
+		t.Errorf("QPIP NBD (%.1f MB/s) not faster than sockets/GigE (%.1f MB/s)", qp, gige)
+	}
+	// Paper Figure 7: 40%-137% throughput improvement.
+	if qp < 1.2*gige {
+		t.Errorf("QPIP advantage only %.0f%%, expected >20%%", (qp/gige-1)*100)
+	}
+}
+
+func TestNBDReadaheadEngages(t *testing.T) {
+	c := core.NewCluster(2, core.NodeConfig{GigE: true})
+	disk := storage.NewDisk(c.Eng, "server.disk", diskSize)
+	var cli *nbd.SockClient
+	c.Spawn("nbd-server", func(p *sim.Proc) {
+		lst := c.Nodes[1].Kernel.NewSocket(hostos.TCPSock)
+		lst.Listen(nbdPort, 4)
+		s := lst.Accept(p)
+		s.SetSndBuf(256 * 1024)
+		nbd.ServeSock(p, c.Nodes[1].CPU, s, disk)
+	})
+	c.Spawn("nbd-client", func(p *sim.Proc) {
+		s := c.Nodes[0].Kernel.NewSocket(hostos.TCPSock)
+		s.SetNoDelay(true)
+		if err := s.Connect(p, c.Nodes[1].Addr4, nbdPort); err != nil {
+			t.Errorf("Connect: %v", err)
+			return
+		}
+		cli = nbd.NewSockClient(c.Eng, c.Nodes[0].CPU, s, diskSize, 8)
+		fs := storage.NewFS(cli, c.Nodes[0].CPU, 4<<20)
+		fs.ReadAt(p, 0, 1<<20)
+	})
+	c.Run()
+	_, _, ra := cli.Stats()
+	if ra == 0 {
+		t.Error("sequential read issued no readahead")
+	}
+}
+
+func TestQPChecksumModeStillCorrect(t *testing.T) {
+	// Firmware checksum path must not corrupt data, only slow it down.
+	c := core.NewCluster(2, core.NodeConfig{
+		QPIP: true, QPIPMTU: params.MTUJumbo, QPIPChecksum: qpipnic.ChecksumFirmware,
+	})
+	disk := storage.NewDisk(c.Eng, "server.disk", diskSize)
+	maxMsg := c.Nodes[0].QPIP.MaxMessage()
+	c.Spawn("nbd-server", func(p *sim.Proc) {
+		scq := verbs.NewCQ(c.Nodes[1].QPIP, 512)
+		rcq := verbs.NewCQ(c.Nodes[1].QPIP, 512)
+		qp, _ := verbs.NewQP(c.Nodes[1].QPIP, verbs.QPConfig{
+			Transport: verbs.Reliable, SendCQ: scq, RecvCQ: rcq, SendDepth: 256, RecvDepth: 256,
+		})
+		lst, _ := c.Nodes[1].QPIP.Listen(nbdPort)
+		lst.Post(qp)
+		if err := qp.WaitEstablished(p); err != nil {
+			t.Errorf("establish: %v", err)
+			return
+		}
+		nbd.ServeQP(p, c.Nodes[1].CPU, qp, scq, rcq, maxMsg, disk)
+	})
+	c.Spawn("nbd-client", func(p *sim.Proc) {
+		scq := verbs.NewCQ(c.Nodes[0].QPIP, 512)
+		rcq := verbs.NewCQ(c.Nodes[0].QPIP, 512)
+		qp, _ := verbs.NewQP(c.Nodes[0].QPIP, verbs.QPConfig{
+			Transport: verbs.Reliable, SendCQ: scq, RecvCQ: rcq, SendDepth: 256, RecvDepth: 256,
+		})
+		if err := qp.Connect(p, c.Nodes[1].Addr6, nbdPort); err != nil {
+			t.Errorf("Connect: %v", err)
+			return
+		}
+		cli := nbd.NewQPClient(c.Eng, c.Nodes[0].CPU, qp, scq, rcq, maxMsg, diskSize, 4)
+		fs := storage.NewFS(cli, c.Nodes[0].CPU, 1<<20)
+		writeReadCheck(t)(p, fs)
+	})
+	c.Run()
+}

@@ -1,0 +1,111 @@
+// Package nbd implements the Network Block Device application of the
+// paper's storage experiment (§4.2.3): "a client-server application where
+// client block I/O requests are forwarded to a server that emulates a
+// network attached disk." Both the classic sockets transport and the QPIP
+// transport are provided; the paper modified the Linux client driver and
+// user-level server to use QPIP and compared the two (Figures 5 and 6).
+package nbd
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/buf"
+)
+
+// Wire constants (classic Linux NBD protocol).
+const (
+	ReqMagic = 0x25609513
+	RepMagic = 0x67446698
+
+	CmdRead  = 0
+	CmdWrite = 1
+	CmdDisc  = 2
+
+	// RequestLen is the fixed request header size.
+	RequestLen = 28
+	// ReplyLen is the fixed reply header size.
+	ReplyLen = 16
+)
+
+// Request is one block I/O request.
+type Request struct {
+	Type   uint32
+	Handle uint64
+	Offset uint64
+	Length uint32
+}
+
+// Reply is one response header; read data follows on the wire.
+type Reply struct {
+	Error  uint32
+	Handle uint64
+}
+
+// MarshalRequest serializes a request header.
+func MarshalRequest(r *Request) []byte {
+	b := make([]byte, RequestLen)
+	binary.BigEndian.PutUint32(b[0:], ReqMagic)
+	binary.BigEndian.PutUint32(b[4:], r.Type)
+	binary.BigEndian.PutUint64(b[8:], r.Handle)
+	binary.BigEndian.PutUint64(b[16:], r.Offset)
+	binary.BigEndian.PutUint32(b[24:], r.Length)
+	return b
+}
+
+// Errors from parsing.
+var (
+	ErrBadMagic  = errors.New("nbd: bad magic")
+	ErrTruncated = errors.New("nbd: truncated header")
+)
+
+// ParseRequest decodes a request header.
+func ParseRequest(b buf.Buf) (Request, error) {
+	var r Request
+	if b.Len() < RequestLen {
+		return r, fmt.Errorf("%w: %d bytes", ErrTruncated, b.Len())
+	}
+	d := b.Data()
+	if binary.BigEndian.Uint32(d[0:]) != ReqMagic {
+		return r, ErrBadMagic
+	}
+	r.Type = binary.BigEndian.Uint32(d[4:])
+	r.Handle = binary.BigEndian.Uint64(d[8:])
+	r.Offset = binary.BigEndian.Uint64(d[16:])
+	r.Length = binary.BigEndian.Uint32(d[24:])
+	return r, nil
+}
+
+// MarshalReply serializes a reply header.
+func MarshalReply(r *Reply) []byte {
+	b := make([]byte, ReplyLen)
+	binary.BigEndian.PutUint32(b[0:], RepMagic)
+	binary.BigEndian.PutUint32(b[4:], r.Error)
+	binary.BigEndian.PutUint64(b[8:], r.Handle)
+	return b
+}
+
+// ParseReply decodes a reply header.
+func ParseReply(b buf.Buf) (Reply, error) {
+	var r Reply
+	if b.Len() < ReplyLen {
+		return r, fmt.Errorf("%w: %d bytes", ErrTruncated, b.Len())
+	}
+	d := b.Data()
+	if binary.BigEndian.Uint32(d[0:]) != RepMagic {
+		return r, ErrBadMagic
+	}
+	r.Error = binary.BigEndian.Uint32(d[4:])
+	r.Handle = binary.BigEndian.Uint64(d[8:])
+	return r, nil
+}
+
+// Driver CPU costs (client block layer + NBD driver, and the user-level
+// server's request handling). The QP integration eliminated "multiple
+// socket calls and OS specific wrappers" (paper §4.2.3); the transports
+// charge their own I/O costs on top of these.
+const (
+	ClientPerReqUS = 6.0
+	ServerPerReqUS = 5.0
+)

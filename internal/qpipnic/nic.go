@@ -1,0 +1,386 @@
+// Package qpipnic implements the QPIP network interface firmware — the
+// paper's core contribution (§3, §4.1). The adapter offloads the complete
+// TCP/UDP/IPv6 stack beneath the queue pair abstraction. Its operation is
+// organized as the paper's four finite state machines:
+//
+//   - doorbell FSM: drains the hardware doorbell FIFO and marks QPs with
+//     outstanding work requests;
+//   - management FSM: privileged commands (QP/CQ creation, port binding,
+//     connection management);
+//   - schedule/transmit FSM: polls active endpoints, fetches WRs and data
+//     by DMA, builds TCP/UDP and IPv6 headers, and injects packets;
+//   - receive FSM: parses arriving packets, runs TCP input processing
+//     (RTT estimators, window state), places data by DMA and posts
+//     completions.
+//
+// Every stage charges the 133 MHz firmware processor the stage costs the
+// paper measured (Tables 2 and 3), so the simulated adapter's occupancy —
+// the quantity that limits QPIP at small MTUs (§4.2.1) — emerges from the
+// same per-stage accounting the LANai prototype exhibited.
+package qpipnic
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/buf"
+	"repro/internal/fabric"
+	"repro/internal/hw"
+	"repro/internal/inet"
+	"repro/internal/params"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/trace"
+	"repro/internal/udp"
+	"repro/internal/verbs"
+)
+
+// ChecksumMode selects receive-side IP checksum placement (paper §4.2.1:
+// the LANai could not hardware-checksum on receive; results are reported
+// both with an emulated hardware checksum and a firmware checksum).
+type ChecksumMode int
+
+const (
+	// ChecksumEmulatedHW models the hardware-assisted receive checksum
+	// the figures assume: verification is free to the firmware CPU.
+	ChecksumEmulatedHW ChecksumMode = iota
+	// ChecksumFirmware charges the software checksum loop
+	// (params.FirmwareChecksumCyclesPerByte).
+	ChecksumFirmware
+)
+
+// Config parameterizes a QPIP adapter.
+type Config struct {
+	Name string
+	// Addr is the adapter's IPv6 address.
+	Addr inet.Addr6
+	// MTU is the native MTU; one QP message maps to one TCP segment, so
+	// MaxMessage = MTU - headers (paper §4.1; 16 KB native).
+	MTU int
+	// Checksum selects receive checksum placement.
+	Checksum ChecksumMode
+	// PipelinedTX lets the transmit FSM start the next work request while
+	// the network send engine is still serializing the previous packet.
+	// The prototype's simple FSM loop did not (ablation knob).
+	PipelinedTX bool
+	// NoDelAck disables the firmware's BSD-style delayed acks (ack at
+	// least every second segment). The prototype's TCP derives from the
+	// BSD code in Stevens & Wright, where delayed acks are the default;
+	// disabling them is the ablation.
+	NoDelAck bool
+	// HostCPU is the processor verbs costs and wakeup interrupts land on.
+	HostCPU *sim.CPU
+	// Bus is the host's PCI bus, shared with other adapters.
+	Bus *hw.PCIBus
+	// Routes resolves IPv6 addresses to fabric attachments (the
+	// prototype's static address resolution table, §4.1).
+	Routes *inet.Table6
+}
+
+// tcpKey demultiplexes established connections.
+type tcpKey struct {
+	localPort  uint16
+	remoteAddr inet.Addr6
+	remotePort uint16
+}
+
+// stashedRec is an in-order record that arrived before its receive WR was
+// posted; it waits in adapter SRAM.
+type stashedRec struct {
+	payload buf.Buf
+}
+
+// qpState is the adapter-resident state of one QP: the inter-network
+// protocol state (the TCB) plus WR bookkeeping. "A common data structure
+// is used to maintain the state of the individual QPs and includes the
+// inter-network protocol specific information, namely the TCP
+// transmission control block" (paper §3.1).
+type qpState struct {
+	qp   *verbs.QP
+	conn *tcp.Conn // nil for UDP QPs
+
+	localPort  uint16
+	remoteAddr inet.Addr6
+	remotePort uint16
+	remoteAtt  int
+
+	// sendIDs holds WR IDs of messages accepted by the TCB, in order;
+	// TCP completions pop from the front as records are acknowledged.
+	sendIDs []uint64
+	// pendingWRs counts doorbell tokens not yet consumed by the
+	// transmit FSM.
+	pendingWRs int
+	stash      []stashedRec
+	timer      *sim.Event
+	peerClosed bool
+}
+
+// Stats counts adapter-level events.
+type Stats struct {
+	DataSends, AckSends uint64
+	DataRecvs, AckRecvs uint64
+	UDPSends, UDPRecvs  uint64
+	ChecksumErrors      uint64
+	NoRouteDrops        uint64
+	NoPortDrops         uint64
+	NoWRDrops           uint64
+	StashedRecords      uint64
+	Retransmissions     uint64
+}
+
+// NIC is one QPIP adapter.
+type NIC struct {
+	eng *sim.Engine
+	cfg Config
+	cpu *sim.CPU
+	db  *hw.Doorbell
+	fab *fabric.Fabric
+	att int
+
+	qps       map[uint32]*qpState
+	tcpConns  map[tcpKey]*qpState
+	listeners map[uint16]*verbs.Listener
+	udpPorts  *udp.PortSpace[*qpState]
+	tcpPorts  map[uint16]bool // allocated TCP local ports
+	nextEphem uint16
+	issCount  uint32
+
+	// Transmit FSM scheduler.
+	txQ    []txWork
+	txBusy bool
+
+	// Per-stage occupancy, split by the four table columns.
+	TxData, TxAck, RxData, RxAck *trace.Stages
+	stats                        Stats
+}
+
+// New builds an adapter and attaches it to fab.
+func New(eng *sim.Engine, fab *fabric.Fabric, cfg Config) *NIC {
+	if cfg.MTU <= 0 {
+		cfg.MTU = params.MTUQPIP
+	}
+	n := &NIC{
+		eng:       eng,
+		cfg:       cfg,
+		cpu:       sim.NewCPU(eng, cfg.Name+".lanai", params.NICClockHz),
+		db:        hw.NewDoorbell(1024),
+		fab:       fab,
+		qps:       make(map[uint32]*qpState),
+		tcpConns:  make(map[tcpKey]*qpState),
+		listeners: make(map[uint16]*verbs.Listener),
+		udpPorts:  udp.NewPortSpace[*qpState](),
+		tcpPorts:  make(map[uint16]bool),
+		nextEphem: 49152,
+		TxData:    trace.NewStages(),
+		TxAck:     trace.NewStages(),
+		RxData:    trace.NewStages(),
+		RxAck:     trace.NewStages(),
+	}
+	n.att = fab.Attach(n.receiveFrame)
+	n.db.OnRing = n.onDoorbell
+	return n
+}
+
+// Addr reports the adapter's IPv6 address.
+func (n *NIC) Addr() inet.Addr6 { return n.cfg.Addr }
+
+// Attachment reports the adapter's fabric attachment id.
+func (n *NIC) Attachment() int { return n.att }
+
+// CPU exposes the firmware processor (occupancy measurements).
+func (n *NIC) CPU() *sim.CPU { return n.cpu }
+
+// Stats returns adapter counters.
+func (n *NIC) Stats() Stats { return n.stats }
+
+// DebugConnStats exposes per-connection TCP stats for diagnostics.
+func (n *NIC) DebugConnStats() []tcp.Stats {
+	var out []tcp.Stats
+	for _, qs := range n.tcpConns {
+		out = append(out, qs.conn.Stats())
+	}
+	return out
+}
+
+// ResetStages clears occupancy instrumentation (benchmark warmup).
+func (n *NIC) ResetStages() {
+	n.TxData.Reset()
+	n.TxAck.Reset()
+	n.RxData.Reset()
+	n.RxAck.Reset()
+}
+
+// ---- verbs.Device implementation (management FSM). ----
+
+// HostCPU implements verbs.Device.
+func (n *NIC) HostCPU() *sim.CPU { return n.cfg.HostCPU }
+
+// MaxMessage implements verbs.Device: one message maps onto one TCP
+// segment, so messages are bounded by MTU minus IPv6 and TCP headers
+// (with the RFC 1323 timestamp option the prototype always sends).
+func (n *NIC) MaxMessage() int {
+	return n.cfg.MTU - inet.IPv6HeaderLen - tcp.BaseHeaderLen - tcp.TimestampOptLen
+}
+
+// CreateQP implements verbs.Device.
+func (n *NIC) CreateQP(qp *verbs.QP) error {
+	n.qps[qp.QPN] = &qpState{qp: qp}
+	n.mgmtCost()
+	return nil
+}
+
+// DestroyQP implements verbs.Device: closes any connection and flushes.
+func (n *NIC) DestroyQP(qp *verbs.QP) {
+	qs := n.qps[qp.QPN]
+	if qs == nil {
+		return
+	}
+	n.mgmtCost()
+	if qs.conn != nil {
+		now := int64(n.eng.Now())
+		acts, err := qs.conn.Close(now)
+		if err == nil {
+			n.handleActions(qs, acts, nil)
+		}
+		n.syncTimer(qs)
+	}
+	if qs.localPort != 0 && qs.conn == nil {
+		n.udpPorts.Unbind(qs.localPort)
+	}
+	qp.Flush()
+	delete(n.qps, qp.QPN)
+}
+
+// BindUDP implements verbs.Device.
+func (n *NIC) BindUDP(qp *verbs.QP, port uint16) (uint16, error) {
+	qs := n.qps[qp.QPN]
+	if qs == nil {
+		return 0, errors.New("qpipnic: unknown QP")
+	}
+	n.mgmtCost()
+	got, err := n.udpPorts.Bind(port, qs)
+	if err != nil {
+		return 0, err
+	}
+	qs.localPort = got
+	return got, nil
+}
+
+// allocTCPPort grabs a free local TCP port.
+func (n *NIC) allocTCPPort() uint16 {
+	for {
+		p := n.nextEphem
+		n.nextEphem++
+		if n.nextEphem == 0 {
+			n.nextEphem = 49152
+		}
+		if !n.tcpPorts[p] {
+			n.tcpPorts[p] = true
+			return p
+		}
+	}
+}
+
+// connConfig builds the record-mode TCB configuration for a QP.
+func (n *NIC) connConfig(local, remote uint16) tcp.Config {
+	n.issCount += 64000
+	return tcp.Config{
+		LocalPort:  local,
+		RemotePort: remote,
+		Mode:       tcp.Record,
+		MSS:        n.MaxMessage(),
+		RecvWindow: -1, // window derives from posted receive WRs
+		// 1 MB cap picks window scale 5 (32-byte granularity); larger caps
+		// would round small posted-WR windows down to zero and stall tiny
+		// messages.
+		MaxRecvWindow: 1 << 20,
+		WindowScale:   true,
+		Timestamps:    true,
+		DelayedAck:    !n.cfg.NoDelAck,
+		NoDelay:       true,
+		ISS:           tcp.Seq(n.issCount),
+	}
+}
+
+// Connect implements verbs.Device: active open. The SYN/ACK handshake is
+// handled entirely by the interface (paper §3).
+func (n *NIC) Connect(qp *verbs.QP, raddr inet.Addr6, rport uint16) error {
+	qs := n.qps[qp.QPN]
+	if qs == nil {
+		return errors.New("qpipnic: unknown QP")
+	}
+	att, err := n.cfg.Routes.Lookup(raddr)
+	if err != nil {
+		return fmt.Errorf("%w: %v", verbs.ErrNoRoute, raddr)
+	}
+	n.mgmtCost()
+	qs.localPort = n.allocTCPPort()
+	qs.remoteAddr, qs.remotePort, qs.remoteAtt = raddr, rport, att
+	qs.conn = tcp.NewConn(n.connConfig(qs.localPort, rport))
+	n.tcpConns[tcpKey{qs.localPort, raddr, rport}] = qs
+	now := int64(n.eng.Now())
+	acts, err := qs.conn.Connect(now)
+	if err != nil {
+		return err
+	}
+	n.handleActions(qs, acts, nil)
+	n.syncTimer(qs)
+	return nil
+}
+
+// Listen implements verbs.Device: "The server application instructs the
+// interface to monitor a TCP port for incoming connections" (paper §3).
+func (n *NIC) Listen(port uint16) (*verbs.Listener, error) {
+	if n.listeners[port] != nil || n.tcpPorts[port] {
+		return nil, verbs.ErrPortBusy
+	}
+	n.mgmtCost()
+	n.tcpPorts[port] = true
+	l := verbs.NewListener(port, n)
+	n.listeners[port] = l
+	return l, nil
+}
+
+// SendDoorbell implements verbs.Device: the host's posting method rings
+// the hardware doorbell; the write crosses the PCI bus into the FIFO.
+func (n *NIC) SendDoorbell(qp *verbs.QP) {
+	n.cfg.Bus.PIOWrite("doorbell", func() {
+		n.db.Ring(uint64(qp.QPN))
+	})
+}
+
+// RecvPosted implements verbs.Device: new receive buffer space arrived.
+// The notification crosses the bus like a doorbell; the firmware grows
+// the TCP receive window accordingly and drains any stashed records.
+func (n *NIC) RecvPosted(qp *verbs.QP) {
+	n.cfg.Bus.PIOWrite("recv-doorbell", func() {
+		qs := n.qps[qp.QPN]
+		if qs == nil {
+			return
+		}
+		n.drainStash(qs, func() { n.updateWindow(qs) })
+	})
+}
+
+// updateWindow re-advertises the window from posted WR capacity.
+func (n *NIC) updateWindow(qs *qpState) {
+	if qs.conn == nil {
+		return
+	}
+	acts := qs.conn.SetRecvWindow(qs.qp.PostedRecvBytes(), int64(n.eng.Now()))
+	n.handleActions(qs, acts, nil)
+	n.syncTimer(qs)
+}
+
+// mgmtCost charges the management FSM for one privileged command.
+func (n *NIC) mgmtCost() {
+	n.cpu.Do(params.US(5), "mgmt", nil)
+}
+
+// notifyHost schedules a host-visible event (connection established,
+// errors) through the lightweight interrupt path.
+func (n *NIC) notifyHost(fn func()) {
+	n.cfg.Bus.DMA(32, "event", func() {
+		n.cfg.HostCPU.Do(params.US(params.HostIRQUS), "qpip.isr", fn)
+	})
+}

@@ -1,0 +1,459 @@
+package qpipnic
+
+import (
+	"repro/internal/buf"
+	"repro/internal/fabric"
+	"repro/internal/inet"
+	"repro/internal/params"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/trace"
+	"repro/internal/udp"
+	"repro/internal/verbs"
+	"repro/internal/wire"
+)
+
+// This file is the schedule/transmit FSM (paper §3.1, Figure 2 left): a
+// single scheduler loop that services one work item at a time — fetch WR,
+// fetch data, build TCP/UDP and IP headers, inject, update state. The
+// prototype's loop did not overlap the network send DMA with the next
+// item, which is what bounds its large-MTU throughput; Config.PipelinedTX
+// flips that for the ablation bench.
+
+// step is one stage of a firmware chain; it must call next exactly once.
+type step func(next func())
+
+// chain runs steps sequentially, then done (which may be nil).
+func chain(steps []step, done func()) {
+	i := 0
+	var run func()
+	run = func() {
+		if i >= len(steps) {
+			if done != nil {
+				done()
+			}
+			return
+		}
+		s := steps[i]
+		i++
+		s(run)
+	}
+	run()
+}
+
+// cpuStage charges the firmware CPU for a fixed-cost stage and records it.
+func (n *NIC) cpuStage(set *trace.Stages, name string, us float64) step {
+	return func(next func()) {
+		d := params.US(us)
+		set.Add(name, d)
+		n.cpu.Do(d, name, next)
+	}
+}
+
+// dmaStage moves payload across the PCI bus after a fixed CPU setup cost.
+// The recorded stage time is the stage's own service time (CPU + DMA
+// transfer), excluding queueing behind unrelated bus traffic — the
+// quantity the paper's per-stage cycle counts correspond to.
+func (n *NIC) dmaStage(set *trace.Stages, name string, us float64, bytes int) step {
+	return func(next func()) {
+		dma := sim.Time(float64(bytes) * 1e9 / params.LANaiDMABandwidth)
+		set.Add(name, params.US(us)+dma)
+		n.cpu.Do(params.US(us), name, func() {
+			n.cfg.Bus.BurstAt(bytes, params.LANaiDMABandwidth, name+".dma", next)
+		})
+	}
+}
+
+// checksumStage charges the firmware checksum loop when the adapter runs
+// in firmware-checksum mode.
+func (n *NIC) checksumStage(set *trace.Stages, bytes int) step {
+	return func(next func()) {
+		if n.cfg.Checksum != ChecksumFirmware {
+			next()
+			return
+		}
+		d := params.NICCycles(params.FirmwareChecksumCyclesPerByte * float64(bytes))
+		set.Add("Checksum (fw)", d)
+		n.cpu.Do(d, "fw-checksum", next)
+	}
+}
+
+// txWork is one scheduler queue entry.
+type txWork struct {
+	qs *qpState
+	// seg, when non-nil, is a ready TCP segment (ack, window-opened data,
+	// retransmission). Otherwise the work item consumes one posted WR.
+	seg *tcp.Segment
+}
+
+// enqueueTx adds work and kicks the scheduler.
+func (n *NIC) enqueueTx(w txWork) {
+	n.txQ = append(n.txQ, w)
+	n.kickTx()
+}
+
+// kickTx runs the scheduler if idle.
+func (n *NIC) kickTx() {
+	if n.txBusy || len(n.txQ) == 0 {
+		return
+	}
+	n.txBusy = true
+	w := n.txQ[0]
+	n.txQ = n.txQ[1:]
+	n.runTxWork(w, func() {
+		n.txBusy = false
+		n.kickTx()
+	})
+}
+
+// onDoorbell is the doorbell FSM wakeup: drain the FIFO, mark QPs.
+func (n *NIC) onDoorbell() {
+	for {
+		tok, ok := n.db.Pop()
+		if !ok {
+			return
+		}
+		qs := n.qps[uint32(tok)]
+		if qs == nil {
+			continue
+		}
+		qs.pendingWRs++
+		n.enqueueTx(txWork{qs: qs})
+	}
+}
+
+// runTxWork executes one scheduler item.
+func (n *NIC) runTxWork(w txWork, done func()) {
+	if w.seg != nil {
+		n.sendSegment(w.qs, w.seg, done)
+		return
+	}
+	n.consumeSendWR(w.qs, done)
+}
+
+// consumeSendWR processes one posted send WR: Doorbell Process, Schedule,
+// Get WR, then hand the message to the transport.
+func (n *NIC) consumeSendWR(qs *qpState, done func()) {
+	if qs.pendingWRs <= 0 || n.qps[qs.qp.QPN] == nil {
+		done()
+		return
+	}
+	qs.pendingWRs--
+	set := n.TxData
+	chain([]step{
+		n.cpuStage(set, "Doorbell Process", params.TxDoorbellProcUS),
+		n.cpuStage(set, "Schedule", params.TxScheduleUS),
+		n.cpuStage(set, "Get WR", params.TxGetWRUS),
+	}, func() {
+		wr, ok := qs.qp.TakeSendWR()
+		if !ok {
+			done()
+			return
+		}
+		if qs.conn != nil {
+			n.sendTCPMessage(qs, wr, done)
+		} else {
+			n.sendUDPMessage(qs, wr, done)
+		}
+	})
+}
+
+// sendTCPMessage feeds one message into the TCB; segments the window
+// admits transmit inline.
+func (n *NIC) sendTCPMessage(qs *qpState, wr verbs.SendWR, done func()) {
+	now := int64(n.eng.Now())
+	qs.sendIDs = append(qs.sendIDs, wr.ID)
+	acts, err := qs.conn.Send(wr.Payload, now)
+	if err != nil {
+		qs.sendIDs = qs.sendIDs[:len(qs.sendIDs)-1]
+		qs.qp.CompleteSend(wr.ID, verbs.StatusRemoteError, 0)
+		done()
+		return
+	}
+	n.syncTimer(qs)
+	n.handleActionsChain(qs, acts, done)
+}
+
+// sendUDPMessage transmits one unreliable datagram. "As soon as a UDP
+// message is sent, the associated send WR is marked as complete"
+// (paper §3).
+func (n *NIC) sendUDPMessage(qs *qpState, wr verbs.SendWR, done func()) {
+	att, err := n.cfg.Routes.Lookup(wr.RemoteAddr)
+	if err != nil {
+		n.stats.NoRouteDrops++
+		qs.qp.CompleteSend(wr.ID, verbs.StatusRemoteError, 0)
+		done()
+		return
+	}
+	set := n.TxData
+	n.stats.UDPSends++
+	l4 := udp.Marshal6(n.cfg.Addr, wr.RemoteAddr, qs.localPort, wr.RemotePort, wr.Payload)
+	pkt := &wire.Packet{
+		IPHdr: inet.Marshal6(&inet.Header6{
+			PayloadLength: uint16(len(l4) + wr.Payload.Len()),
+			NextHeader:    inet.ProtoUDP,
+			HopLimit:      inet.DefaultHopLimit,
+			Src:           n.cfg.Addr,
+			Dst:           wr.RemoteAddr,
+		}),
+		L4Hdr:   l4,
+		Payload: wr.Payload,
+	}
+	chain([]step{
+		n.dmaStage(set, "Get Data", params.TxGetDataUS, wr.Payload.Len()),
+		n.cpuStage(set, "Build UDP Hdr", params.TxBuildUDPHdrUS),
+		n.cpuStage(set, "Build IP Hdr", params.TxBuildIPHdrUS),
+		n.mediaXmt(set, att, pkt),
+		n.cpuStage(set, "Update", params.TxUpdateUS),
+	}, func() {
+		qs.qp.CompleteSend(wr.ID, verbs.StatusSuccess, wr.Payload.Len())
+		done()
+	})
+}
+
+// sendSegment transmits one ready TCP segment (scheduler path for acks,
+// retransmissions and window-opened data).
+func (n *NIC) sendSegment(qs *qpState, seg *tcp.Segment, done func()) {
+	isData := seg.Payload.Len() > 0
+	set := n.TxAck
+	if isData {
+		set = n.TxData
+		n.stats.DataSends++
+	} else {
+		n.stats.AckSends++
+	}
+
+	// Build the real headers. The transmit-side transport checksum is
+	// computed by the DMA engine hardware (paper §4.1), so it costs the
+	// firmware nothing here.
+	l4 := seg.MarshalHeader()
+	tcp.SetChecksum(l4, inet.TransportChecksum6(n.cfg.Addr, qs.remoteAddr, inet.ProtoTCP, l4, seg.Payload))
+	pkt := &wire.Packet{
+		IPHdr: inet.Marshal6(&inet.Header6{
+			PayloadLength: uint16(len(l4) + seg.Payload.Len()),
+			NextHeader:    inet.ProtoTCP,
+			HopLimit:      inet.DefaultHopLimit,
+			Src:           n.cfg.Addr,
+			Dst:           qs.remoteAddr,
+		}),
+		L4Hdr:   l4,
+		Payload: seg.Payload,
+	}
+
+	steps := []step{
+		n.cpuStage(set, "Doorbell Process", params.TxDoorbellProcUS),
+		n.cpuStage(set, "Schedule", params.TxScheduleUS),
+	}
+	if isData {
+		steps = append(steps, n.dmaStage(set, "Get Data", params.TxGetDataUS, seg.Payload.Len()))
+	}
+	steps = append(steps,
+		n.cpuStage(set, "Build TCP Hdr", params.TxBuildTCPHdrUS),
+		n.cpuStage(set, "Build IP Hdr", params.TxBuildIPHdrUS),
+		n.mediaXmt(set, qs.remoteAtt, pkt),
+		n.cpuStage(set, "Update", params.TxUpdateUS),
+	)
+	chain(steps, done)
+}
+
+// mediaXmt injects a packet into the fabric. The Send stage cost covers
+// programming the network send engine; unless PipelinedTX is set the
+// scheduler then waits for the engine to finish serializing — the
+// prototype's behaviour.
+func (n *NIC) mediaXmt(set *trace.Stages, att int, pkt *wire.Packet) step {
+	return func(next func()) {
+		d := params.US(params.TxSendUS)
+		set.Add("Send", d)
+		n.cpu.Do(d, "Send", func() {
+			frame := &fabric.Frame{
+				Src:      n.att,
+				Dst:      att,
+				WireSize: pkt.Len() + params.MyrinetHeaderBytes,
+				Payload:  pkt,
+			}
+			if n.cfg.PipelinedTX {
+				n.fab.Send(frame, nil)
+				next()
+			} else {
+				n.fab.Send(frame, next)
+			}
+		})
+	}
+}
+
+// ---- TCB action plumbing. ----
+
+// handleActions processes TCB outputs in engine context without a
+// surrounding chain (timers, management).
+func (n *NIC) handleActions(qs *qpState, acts tcp.Actions, done func()) {
+	n.handleActionsChain(qs, acts, done)
+}
+
+// handleActionsChain processes TCB outputs: data/ack segments go to the
+// transmit scheduler; completions and deliveries charge the receive-side
+// stages inline, then done runs.
+func (n *NIC) handleActionsChain(qs *qpState, acts tcp.Actions, done func()) {
+	// Segments to the scheduler.
+	for _, seg := range acts.Segments {
+		n.enqueueTx(txWork{qs: qs, seg: seg})
+	}
+	var steps []step
+	// Send completions: "This WR completes when all the data for that
+	// message is acknowledged by the destination" (paper §3).
+	for i := 0; i < acts.AckedRecords; i++ {
+		steps = append(steps, n.completeSendStep(qs))
+	}
+	// Delivered records enter the SRAM stash *now*, synchronously, so the
+	// TCB's delivery order is pinned before any chained stage runs —
+	// concurrent receive chains must not transpose records. The chained
+	// step then drains the stash into posted receive WRs.
+	if len(acts.Delivered) > 0 {
+		for _, rec := range acts.Delivered {
+			qs.stash = append(qs.stash, stashedRec{payload: rec})
+		}
+		steps = append(steps, func(next func()) {
+			n.drainStash(qs, func() {
+				if len(qs.stash) > 0 {
+					n.stats.StashedRecords++
+				}
+				next()
+			})
+		})
+	}
+	if acts.Established {
+		est := qs
+		steps = append(steps, func(next func()) {
+			n.notifyHost(func() {
+				est.qp.SetEstablished(est.localPort, est.remotePort, est.remoteAddr)
+			})
+			next()
+		})
+	}
+	if acts.Reset {
+		steps = append(steps, func(next func()) {
+			n.notifyHost(func() { qs.qp.SetError(verbs.ErrConnRefused) })
+			next()
+		})
+	}
+	if acts.PeerClosed {
+		steps = append(steps, func(next func()) {
+			qs.peerClosed = true
+			n.notifyHost(func() { qs.qp.Flush() })
+			next()
+		})
+	}
+	if len(steps) == 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	chain(steps, done)
+}
+
+// completeSendStep charges the ACK-side update cost (Table 3: "Update
+// (WR and QP State)" = 9 us) and posts the completion.
+func (n *NIC) completeSendStep(qs *qpState) step {
+	return func(next func()) {
+		d := params.US(params.RxUpdateAckUS)
+		n.RxAck.Add("Update", d)
+		n.cpu.Do(d, "Update", func() {
+			// DMA the completion token into the host CQ.
+			n.cfg.Bus.Burst(32, "cq.token", func() {
+				if len(qs.sendIDs) > 0 {
+					id := qs.sendIDs[0]
+					qs.sendIDs = qs.sendIDs[1:]
+					qs.qp.CompleteSend(id, verbs.StatusSuccess, 0)
+				}
+				next()
+			})
+		})
+	}
+}
+
+// placeRecord runs the Get WR / Put Data / Update chain for one record.
+func (n *NIC) placeRecord(qs *qpState, wr verbs.RecvWR, rec buf.Buf, raddr inet.Addr6, rport uint16, next func()) {
+	set := n.RxData
+	status := verbs.StatusSuccess
+	if rec.Len() > wr.Capacity {
+		status = verbs.StatusLenError
+	}
+	chain([]step{
+		n.cpuStage(set, "Get WR", params.RxGetWRUS),
+		n.dmaStage(set, "Put Data", params.RxPutDataUS, rec.Len()),
+		n.cpuStage(set, "Update", params.RxUpdateDataUS),
+	}, func() {
+		n.cfg.Bus.Burst(32, "cq.token", func() {
+			comp := verbs.Completion{
+				WRID:       wr.ID,
+				Status:     status,
+				ByteLen:    rec.Len(),
+				Payload:    rec,
+				RemoteAddr: raddr,
+				RemotePort: rport,
+			}
+			if status == verbs.StatusLenError {
+				comp.Payload = buf.Empty
+				comp.ByteLen = 0
+			}
+			qs.qp.CompleteRecv(comp)
+			n.updateWindow(qs)
+			if next != nil {
+				next()
+			}
+		})
+	})
+}
+
+// drainStash delivers SRAM-stashed records into newly posted WRs.
+func (n *NIC) drainStash(qs *qpState, done func()) {
+	if len(qs.stash) == 0 {
+		done()
+		return
+	}
+	wr, ok := qs.qp.TakeRecvWR()
+	if !ok {
+		done()
+		return
+	}
+	rec := qs.stash[0]
+	qs.stash = qs.stash[1:]
+	n.placeRecord(qs, wr, rec.payload, qs.remoteAddr, qs.remotePort, func() {
+		n.drainStash(qs, done)
+	})
+}
+
+// syncTimer keeps one engine timer aligned with the TCB's earliest
+// deadline — the transmit FSM "monitors for timeout/retransmit events
+// pending on a QP" (paper §3.1).
+func (n *NIC) syncTimer(qs *qpState) {
+	if qs.timer != nil {
+		qs.timer.Cancel()
+		qs.timer = nil
+	}
+	if qs.conn == nil {
+		return
+	}
+	deadline, ok := qs.conn.NextTimeout()
+	if !ok {
+		return
+	}
+	at := sim.Time(deadline)
+	if at < n.eng.Now() {
+		at = n.eng.Now()
+	}
+	qs.timer = n.eng.At(at, "qpip.tcp.timer", func() {
+		qs.timer = nil
+		now := int64(n.eng.Now())
+		acts := qs.conn.OnTimer(now)
+		for _, seg := range acts.Segments {
+			// Count only real retransmissions, not timer-driven pure acks
+			// (delayed acks, window probes).
+			if seg.Payload.Len() > 0 || seg.Flags.Has(tcp.SYN) || seg.Flags.Has(tcp.FIN) {
+				n.stats.Retransmissions++
+			}
+		}
+		n.handleActions(qs, acts, nil)
+		n.syncTimer(qs)
+	})
+}

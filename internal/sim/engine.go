@@ -1,0 +1,197 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All QPIP hardware models (NIC processors, DMA engines, links, host CPUs)
+// are built on this engine. Real protocol code runs inside event callbacks;
+// only time is simulated. The engine is single-threaded and fully
+// deterministic: events fire in non-decreasing timestamp order, with ties
+// broken by scheduling order.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulated timestamp in nanoseconds since the start of the run.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+// Micros reports t as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+// Millis reports t as a floating-point number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / 1e6 }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.6fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Millis())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Micros converts a floating-point number of microseconds to a Time.
+func Micros(us float64) Time { return Time(us * 1e3) }
+
+// Event is a scheduled callback. It may be cancelled before it fires.
+type Event struct {
+	at       Time
+	seq      uint64
+	index    int // heap index, -1 once popped or cancelled
+	fn       func()
+	name     string
+	canceled bool
+}
+
+// At reports the time the event is scheduled to fire.
+func (ev *Event) At() Time { return ev.at }
+
+// Canceled reports whether Cancel was called before the event fired.
+func (ev *Event) Canceled() bool { return ev.canceled }
+
+// Cancel prevents the event's callback from running. Cancelling an event
+// that already fired or was already cancelled is a no-op.
+func (ev *Event) Cancel() { ev.canceled = true }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation kernel.
+//
+// The zero value is not usable; create engines with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	fired   uint64
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports the number of events scheduled but not yet fired
+// (including cancelled events not yet reaped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a model bug.
+func (e *Engine) At(t Time, name string, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event %q scheduled at %v, before now %v", name, t, e.now))
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn, name: name}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d nanoseconds from now. Negative d panics.
+func (e *Engine) After(d Time, name string, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: event %q scheduled after negative delay %v", name, d))
+	}
+	return e.At(e.now+d, name, fn)
+}
+
+// Stop makes the current Run/RunUntil/RunFor call return after the
+// currently-executing event completes. Pending events stay queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// step pops and runs the next event. It reports false when the queue is empty.
+func (e *Engine) step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to t
+// (if it is not already past t).
+func (e *Engine) RunUntil(t Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			break
+		}
+		// Peek.
+		next := e.queue[0]
+		if next.canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		e.step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor executes events for d nanoseconds of simulated time from now.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }

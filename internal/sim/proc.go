@@ -1,0 +1,86 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process: application code written in blocking style
+// (post a work request, wait for a completion) that interleaves
+// deterministically with the event engine. Exactly one goroutine — the
+// engine's or one process's — runs at a time; control transfers are
+// synchronous handshakes, so simulations stay reproducible.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	parked chan struct{}
+	dead   bool
+}
+
+// Spawn starts fn as a simulated process at the current time. fn runs until
+// it parks (Suspend, Sleep, Use) or returns; the engine then proceeds.
+func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	e.After(0, "spawn:"+name, func() {
+		go func() {
+			fn(p)
+			p.dead = true
+			p.parked <- struct{}{}
+		}()
+		<-p.parked
+	})
+	return p
+}
+
+// Name reports the process name.
+func (p *Proc) Name() string { return p.name }
+
+// Done reports whether the process function has returned.
+func (p *Proc) Done() bool { return p.dead }
+
+// park transfers control back to the engine until Wake.
+func (p *Proc) park() {
+	p.parked <- struct{}{}
+	<-p.resume
+}
+
+// Wake resumes a parked process and blocks (the engine) until it parks
+// again or finishes. It must be called from engine context (an event
+// callback), never from another process directly.
+func (p *Proc) Wake() {
+	if p.dead {
+		panic(fmt.Sprintf("sim: Wake on finished process %q", p.name))
+	}
+	p.resume <- struct{}{}
+	<-p.parked
+}
+
+// Suspend parks until some event calls Wake.
+func (p *Proc) Suspend() { p.park() }
+
+// Sleep parks for d of simulated time.
+func (p *Proc) Sleep(d Time) {
+	p.eng.After(d, p.name+".sleep", func() { p.Wake() })
+	p.park()
+}
+
+// Use occupies a server (a CPU, typically) for d and parks until the work
+// completes — modeling synchronous computation by this process.
+func (p *Proc) Use(s *Server, d Time) {
+	s.Do(d, p.name+".use", func() { p.Wake() })
+	p.park()
+}
+
+// UseCycles occupies a CPU for the given cycle count.
+func (p *Proc) UseCycles(c *CPU, cycles float64) {
+	p.Use(c.Server, c.CycleTime(cycles))
+}
+
+// Now reports the engine clock.
+func (p *Proc) Now() Time { return p.eng.Now() }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.eng }

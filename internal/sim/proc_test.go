@@ -1,0 +1,152 @@
+package sim
+
+import "testing"
+
+func TestProcRunsAndFinishes(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	p := e.Spawn("worker", func(p *Proc) { ran = true })
+	e.Run()
+	if !ran || !p.Done() {
+		t.Fatalf("ran=%v done=%v", ran, p.Done())
+	}
+}
+
+func TestProcSleepAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var woke Time
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(100 * Microsecond)
+		woke = p.Now()
+	})
+	e.Run()
+	if woke != 100*Microsecond {
+		t.Errorf("woke at %v", woke)
+	}
+}
+
+func TestProcSuspendWake(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	p := e.Spawn("waiter", func(p *Proc) {
+		order = append(order, "before")
+		p.Suspend()
+		order = append(order, "after")
+	})
+	e.At(50, "waker", func() {
+		order = append(order, "wake")
+		p.Wake()
+	})
+	e.Run()
+	want := []string{"before", "wake", "after"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestProcUseChargesServer(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, "cpu")
+	var done Time
+	e.Spawn("compute", func(p *Proc) {
+		p.Use(s, 500)
+		done = p.Now()
+	})
+	e.Run()
+	if done != 500 {
+		t.Errorf("compute finished at %v", done)
+	}
+	if s.BusyTotal() != 500 {
+		t.Errorf("server busy %v", s.BusyTotal())
+	}
+}
+
+func TestProcUseCycles(t *testing.T) {
+	e := NewEngine()
+	c := NewCPU(e, "host", 550e6)
+	e.Spawn("compute", func(p *Proc) { p.UseCycles(c, 550) })
+	e.Run()
+	if e.Now() != 1000 {
+		t.Errorf("550 cycles at 550 MHz ended at %v ns", int64(e.Now()))
+	}
+}
+
+func TestTwoProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var trace []string
+		for _, name := range []string{"a", "b"} {
+			name := name
+			e.Spawn(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					trace = append(trace, name)
+					p.Sleep(10)
+				}
+			})
+		}
+		e.Run()
+		return trace
+	}
+	first := run()
+	for trial := 0; trial < 5; trial++ {
+		again := run()
+		for i := range first {
+			if again[i] != first[i] {
+				t.Fatalf("nondeterministic interleaving: %v vs %v", first, again)
+			}
+		}
+	}
+}
+
+func TestProcProducerConsumer(t *testing.T) {
+	e := NewEngine()
+	var queue []int
+	var consumer *Proc
+	consumed := []int{}
+	consumer = e.Spawn("consumer", func(p *Proc) {
+		for len(consumed) < 5 {
+			for len(queue) == 0 {
+				p.Suspend()
+			}
+			v := queue[0]
+			queue = queue[1:]
+			consumed = append(consumed, v)
+		}
+	})
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(10)
+			item := i
+			// Hand off via an engine event, as a device would.
+			p.Engine().After(0, "deliver", func() {
+				queue = append(queue, item)
+				if !consumer.Done() {
+					consumer.Wake()
+				}
+			})
+		}
+	})
+	e.Run()
+	if len(consumed) != 5 {
+		t.Fatalf("consumed %v", consumed)
+	}
+	for i, v := range consumed {
+		if v != i {
+			t.Fatalf("consumed %v", consumed)
+		}
+	}
+}
+
+func TestWakeDeadProcPanics(t *testing.T) {
+	e := NewEngine()
+	p := e.Spawn("short", func(p *Proc) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("Wake on dead proc did not panic")
+		}
+	}()
+	p.Wake()
+}

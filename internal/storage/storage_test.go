@@ -1,0 +1,223 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/buf"
+	"repro/internal/params"
+	"repro/internal/sim"
+)
+
+func TestDiskSequentialStreamsWithoutSeeks(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDisk(eng, "disk", 1<<20)
+	var done int
+	for off := int64(0); off < 10*65536; off += 65536 {
+		d.Write(off, buf.Virtual(65536), func() { done++ })
+	}
+	eng.Run()
+	if done != 10 {
+		t.Fatalf("completed %d writes", done)
+	}
+	_, _, seeks := d.Stats()
+	if seeks != 1 {
+		t.Errorf("sequential run took %d seeks, want 1", seeks)
+	}
+}
+
+func TestDiskRandomAccessSeeks(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDisk(eng, "disk", 1<<20)
+	offsets := []int64{0, 512 * 1024, 64 * 1024, 900 * 1024}
+	for _, off := range offsets {
+		d.Write(off, buf.Virtual(4096), nil)
+	}
+	eng.Run()
+	_, _, seeks := d.Stats()
+	if seeks != uint64(len(offsets)) {
+		t.Errorf("seeks = %d, want %d", seeks, len(offsets))
+	}
+}
+
+func TestDiskReadBackWrittenData(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDisk(eng, "disk", 1<<20)
+	want := buf.Pattern(4096, 3)
+	var got buf.Buf
+	d.Write(8192, want, func() {
+		d.Read(8192, 4096, func(b buf.Buf) { got = b })
+	})
+	eng.Run()
+	if !buf.Equal(got, want) {
+		t.Fatal("read-back mismatch")
+	}
+}
+
+func TestDiskUnwrittenReadsZero(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDisk(eng, "disk", 1<<20)
+	var got buf.Buf
+	d.Read(0, 4096, func(b buf.Buf) { got = b })
+	eng.Run()
+	if !buf.Equal(got, buf.Virtual(4096)) {
+		t.Fatal("unwritten space not zero")
+	}
+}
+
+func TestDiskOutOfRangePanics(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDisk(eng, "disk", 1024)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range access accepted")
+		}
+	}()
+	d.Read(1000, 100, nil)
+}
+
+func TestDiskThroughputNearBandwidth(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDisk(eng, "disk", 100<<20)
+	total := 50 << 20
+	var end sim.Time
+	for off := int64(0); off < int64(total); off += 65536 {
+		d.Write(off, buf.Virtual(65536), func() { end = eng.Now() })
+	}
+	eng.Run()
+	rate := float64(total) / end.Seconds() / 1e6
+	if rate < 0.9*params.DiskBandwidth/1e6 || rate > 1.05*params.DiskBandwidth/1e6 {
+		t.Errorf("streaming rate %.1f MB/s, want ~%.0f", rate, params.DiskBandwidth/1e6)
+	}
+}
+
+func newLocalFS(eng *sim.Engine, cacheBytes int) (*FS, *sim.CPU, *Disk) {
+	cpu := sim.NewCPU(eng, "cpu", params.HostClockHz)
+	d := NewDisk(eng, "disk", 1<<30)
+	return NewFS(&LocalDev{D: d}, cpu, cacheBytes), cpu, d
+}
+
+func TestFSWriteReadRoundTrip(t *testing.T) {
+	eng := sim.NewEngine()
+	fs, _, _ := newLocalFS(eng, 1<<20)
+	want := buf.Pattern(64*1024, 7)
+	var got buf.Buf
+	eng.Spawn("app", func(p *sim.Proc) {
+		if err := fs.WriteAt(p, 0, want); err != nil {
+			t.Errorf("WriteAt: %v", err)
+			return
+		}
+		if err := fs.Sync(p); err != nil {
+			t.Errorf("Sync: %v", err)
+			return
+		}
+		fs.Invalidate()
+		b, err := fs.ReadAt(p, 0, want.Len())
+		if err != nil {
+			t.Errorf("ReadAt: %v", err)
+			return
+		}
+		got = b
+	})
+	eng.Run()
+	if !buf.Equal(got, want) {
+		t.Fatal("round trip corrupted")
+	}
+}
+
+func TestFSCacheHitsAvoidDevice(t *testing.T) {
+	eng := sim.NewEngine()
+	fs, _, d := newLocalFS(eng, 1<<20)
+	eng.Spawn("app", func(p *sim.Proc) {
+		fs.ReadAt(p, 0, 64*1024)
+		reads0, _, _ := d.Stats()
+		fs.ReadAt(p, 0, 64*1024) // fully cached
+		reads1, _, _ := d.Stats()
+		if reads1 != reads0 {
+			t.Errorf("cached re-read hit the device (%d -> %d)", reads0, reads1)
+		}
+	})
+	eng.Run()
+	hits, _, _ := fs.CacheStats()
+	if hits == 0 {
+		t.Error("no cache hits recorded")
+	}
+}
+
+func TestFSUnalignedRejected(t *testing.T) {
+	eng := sim.NewEngine()
+	fs, _, _ := newLocalFS(eng, 1<<20)
+	eng.Spawn("app", func(p *sim.Proc) {
+		if _, err := fs.ReadAt(p, 1, 4096); err == nil {
+			t.Error("unaligned read accepted")
+		}
+		if err := fs.WriteAt(p, 0, buf.Virtual(100)); err == nil {
+			t.Error("unaligned write accepted")
+		}
+	})
+	eng.Run()
+}
+
+func TestFSEvictionWritesBackDirty(t *testing.T) {
+	eng := sim.NewEngine()
+	// Tiny cache: 8 blocks = 32 KB.
+	fs, _, d := newLocalFS(eng, 8*4096)
+	eng.Spawn("app", func(p *sim.Proc) {
+		// Write 64 KB through a 32 KB cache: evictions must write back.
+		if err := fs.WriteAt(p, 0, buf.Pattern(64*1024, 2)); err != nil {
+			t.Errorf("WriteAt: %v", err)
+			return
+		}
+		if err := fs.Sync(p); err != nil {
+			t.Errorf("Sync: %v", err)
+			return
+		}
+		fs.Invalidate()
+		got, err := fs.ReadAt(p, 0, 64*1024)
+		if err != nil {
+			t.Errorf("ReadAt: %v", err)
+			return
+		}
+		if !buf.Equal(got, buf.Pattern(64*1024, 2)) {
+			t.Error("data lost across eviction")
+		}
+	})
+	eng.Run()
+	_, _, wb := fs.CacheStats()
+	if wb == 0 {
+		t.Error("no writebacks despite cache pressure")
+	}
+	_, writes, _ := d.Stats()
+	if writes == 0 {
+		t.Error("device never written")
+	}
+}
+
+func TestFSSyncClustersSequentialWrites(t *testing.T) {
+	eng := sim.NewEngine()
+	fs, _, d := newLocalFS(eng, 4<<20)
+	eng.Spawn("app", func(p *sim.Proc) {
+		fs.WriteAt(p, 0, buf.Virtual(512*1024))
+		fs.Sync(p)
+	})
+	eng.Run()
+	_, writes, _ := d.Stats()
+	// 512 KB in 64 KB clustered requests = 8 device writes.
+	if writes != 8 {
+		t.Errorf("sync issued %d device writes, want 8 (clustering broken)", writes)
+	}
+}
+
+func TestFSChargesCPU(t *testing.T) {
+	eng := sim.NewEngine()
+	fs, cpu, _ := newLocalFS(eng, 4<<20)
+	eng.Spawn("app", func(p *sim.Proc) {
+		fs.WriteAt(p, 0, buf.Virtual(1<<20))
+	})
+	eng.Run()
+	// 256 blocks at FSPerBlockUS each.
+	wantUS := params.FSPerBlockUS * 256
+	gotUS := cpu.BusyTotal().Micros()
+	if gotUS < wantUS*0.9 || gotUS > wantUS*1.2 {
+		t.Errorf("fs CPU = %.0f us, want ~%.0f", gotUS, wantUS)
+	}
+}

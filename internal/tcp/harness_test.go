@@ -1,0 +1,171 @@
+package tcp
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/buf"
+)
+
+// testNet wires two Conns through an in-order pipe with fixed latency and
+// scripted loss, advancing a virtual clock. It mimics what the simulated
+// stacks do, without any of the hardware cost model — pure protocol logic.
+type testNet struct {
+	t       *testing.T
+	now     int64
+	conns   [2]*Conn
+	events  []netEvent
+	latency int64
+	// drop decides whether the nth segment sent by side `from` is lost.
+	drop func(from, n int, seg *Segment) bool
+	sent [2]int
+
+	delivered [2][]buf.Buf
+	ackedRec  [2]int
+	ackedB    [2]int
+	est       [2]bool
+	peerFin   [2]bool
+	closed    [2]bool
+	reset     [2]bool
+}
+
+type netEvent struct {
+	at  int64
+	to  int
+	seg *Segment
+}
+
+func newTestNet(t *testing.T, a, b *Conn) *testNet {
+	return &testNet{
+		t:       t,
+		now:     1_000_000_000, // start at 1s so timestamp clocks are nonzero
+		conns:   [2]*Conn{a, b},
+		latency: 10_000, // 10 us one way
+	}
+}
+
+func (n *testNet) apply(from int, a Actions) {
+	n.delivered[from] = append(n.delivered[from], a.Delivered...)
+	n.ackedRec[from] += a.AckedRecords
+	n.ackedB[from] += a.AckedBytes
+	n.est[from] = n.est[from] || a.Established
+	n.peerFin[from] = n.peerFin[from] || a.PeerClosed
+	n.closed[from] = n.closed[from] || a.Closed
+	n.reset[from] = n.reset[from] || a.Reset
+	for _, seg := range a.Segments {
+		idx := n.sent[from]
+		n.sent[from]++
+		if n.drop != nil && n.drop(from, idx, seg) {
+			continue
+		}
+		n.events = append(n.events, netEvent{at: n.now + n.latency, to: 1 - from, seg: seg})
+	}
+}
+
+// run processes network events and timers until quiescent or the deadline.
+func (n *testNet) run(maxDur int64) {
+	deadline := n.now + maxDur
+	for n.now < deadline {
+		// Earliest of: next network event, next timer on either conn.
+		next := int64(0)
+		pick := -1 // event index, or -2/-3 for timer on conn 0/1
+		sort.SliceStable(n.events, func(i, j int) bool { return n.events[i].at < n.events[j].at })
+		if len(n.events) > 0 {
+			next = n.events[0].at
+			pick = 0
+		}
+		for side, c := range n.conns {
+			if d, ok := c.NextTimeout(); ok && (pick == -1 || d < next) {
+				next = d
+				pick = -2 - side
+			}
+		}
+		if pick == -1 {
+			return // quiescent
+		}
+		if next > deadline {
+			return
+		}
+		if next > n.now {
+			n.now = next
+		}
+		switch {
+		case pick >= 0:
+			ev := n.events[0]
+			n.events = n.events[1:]
+			n.apply(ev.to, n.conns[ev.to].Input(ev.seg, n.now))
+		case pick == -2:
+			n.apply(0, n.conns[0].OnTimer(n.now))
+		case pick == -3:
+			n.apply(1, n.conns[1].OnTimer(n.now))
+		}
+	}
+}
+
+func (n *testNet) connect() {
+	a, err := n.conns[0].Connect(n.now)
+	if err != nil {
+		n.t.Fatalf("Connect: %v", err)
+	}
+	// Side 1 is passive: route the SYN manually through AcceptSYN.
+	if len(a.Segments) != 1 {
+		n.t.Fatalf("Connect emitted %d segments, want 1 SYN", len(a.Segments))
+	}
+	syn := a.Segments[0]
+	n.now += n.latency
+	acts, err := n.conns[1].AcceptSYN(syn, n.now)
+	if err != nil {
+		n.t.Fatalf("AcceptSYN: %v", err)
+	}
+	n.apply(1, acts)
+	n.run(10_000_000_000)
+	if !n.est[0] || !n.est[1] {
+		n.t.Fatalf("handshake did not establish: est=%v states=%v/%v",
+			n.est, n.conns[0].State(), n.conns[1].State())
+	}
+}
+
+func (n *testNet) send(from int, p buf.Buf) {
+	a, err := n.conns[from].Send(p, n.now)
+	if err != nil {
+		n.t.Fatalf("Send: %v", err)
+	}
+	n.apply(from, a)
+}
+
+func (n *testNet) totalDelivered(side int) int {
+	total := 0
+	for _, d := range n.delivered[side] {
+		total += d.Len()
+	}
+	return total
+}
+
+func (n *testNet) deliveredBytes(side int) []byte {
+	var out []byte
+	for _, d := range n.delivered[side] {
+		out = append(out, d.Data()...)
+	}
+	return out
+}
+
+// pair builds a connected record-mode or stream-mode pair with symmetric
+// configs.
+func pair(t *testing.T, mode Mode, mss, window int, tweak func(*Config)) *testNet {
+	mk := func(lp, rp uint16, iss Seq) *Conn {
+		cfg := Config{
+			LocalPort: lp, RemotePort: rp,
+			Mode: mode, MSS: mss, RecvWindow: window,
+			WindowScale: true, Timestamps: true,
+			NoDelay: true,
+			ISS:     iss,
+		}
+		if tweak != nil {
+			tweak(&cfg)
+		}
+		return NewConn(cfg)
+	}
+	n := newTestNet(t, mk(1000, 2000, 100), mk(2000, 1000, 5000))
+	n.connect()
+	return n
+}

@@ -1,0 +1,249 @@
+package tcp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/buf"
+)
+
+func TestSeqOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Seq
+		lt   bool
+	}{
+		{0, 1, true},
+		{1, 0, false},
+		{0, 0, false},
+		{0xffffffff, 0, true},  // wraparound
+		{0, 0x7fffffff, true},  // max forward distance
+		{0, 0x80000001, false}, // beyond half-space: considered behind
+		{100, 100 + 1<<30, true},
+	}
+	for i, c := range cases {
+		if got := c.a.Lt(c.b); got != c.lt {
+			t.Errorf("case %d: %d.Lt(%d) = %v, want %v", i, c.a, c.b, got, c.lt)
+		}
+	}
+}
+
+func TestSeqAddDiff(t *testing.T) {
+	s := Seq(0xfffffff0)
+	s2 := s.Add(0x20)
+	if s2 != 0x10 {
+		t.Errorf("Add wrap = %#x", uint32(s2))
+	}
+	if d := s2.Diff(s); d != 0x20 {
+		t.Errorf("Diff = %d", d)
+	}
+	if d := s.Diff(s2); d != -0x20 {
+		t.Errorf("reverse Diff = %d", d)
+	}
+}
+
+func TestSeqInWindow(t *testing.T) {
+	if !Seq(10).InWindow(10, 5) {
+		t.Error("window start excluded")
+	}
+	if Seq(15).InWindow(10, 5) {
+		t.Error("window end included")
+	}
+	if !Seq(2).InWindow(0xfffffffe, 10) {
+		t.Error("wrapped window broken")
+	}
+}
+
+// Property: within any 2^30 span, Seq comparison matches integer comparison.
+func TestSeqTotalOrderProperty(t *testing.T) {
+	f := func(base uint32, da, db uint32) bool {
+		a := Seq(base).Add(int(da % (1 << 30)))
+		b := Seq(base).Add(int(db % (1 << 30)))
+		ia, ib := int64(da%(1<<30)), int64(db%(1<<30))
+		return a.Lt(b) == (ia < ib) && a.Leq(b) == (ia <= ib) &&
+			a.Gt(b) == (ia > ib) && a.Geq(b) == (ia >= ib)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeaderMarshalParseRoundTrip(t *testing.T) {
+	s := Segment{
+		SrcPort: 1234, DstPort: 80,
+		Seq: 0xdeadbeef, Ack: 0xfeedface,
+		Flags: SYN | ACK, Wnd: 0x8000,
+		MSS: 16384, WScale: 3,
+		HasTS: true, TSVal: 111, TSEcr: 222,
+		SACKPerm: true,
+	}
+	b := s.MarshalHeader()
+	if len(b) != s.HeaderLen() || len(b)%4 != 0 {
+		t.Fatalf("header length %d (HeaderLen %d)", len(b), s.HeaderLen())
+	}
+	got, hlen, err := ParseHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hlen != len(b) {
+		t.Errorf("consumed %d of %d", hlen, len(b))
+	}
+	want := s
+	if got.SrcPort != want.SrcPort || got.DstPort != want.DstPort ||
+		got.Seq != want.Seq || got.Ack != want.Ack || got.Flags != want.Flags ||
+		got.Wnd != want.Wnd || got.MSS != want.MSS || got.WScale != want.WScale ||
+		got.HasTS != want.HasTS || got.TSVal != want.TSVal || got.TSEcr != want.TSEcr ||
+		got.SACKPerm != want.SACKPerm {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestHeaderNoOptions(t *testing.T) {
+	s := Segment{SrcPort: 1, DstPort: 2, Flags: ACK, WScale: -1}
+	b := s.MarshalHeader()
+	if len(b) != BaseHeaderLen {
+		t.Fatalf("bare header length %d", len(b))
+	}
+	got, _, err := ParseHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MSS != 0 || got.WScale != -1 || got.HasTS || got.SACKPerm {
+		t.Errorf("spurious options: %+v", got)
+	}
+}
+
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(sp, dp uint16, seq, ack uint32, flags uint8, wnd uint16,
+		mss uint16, ws uint8, hasTS bool, tsv, tse uint32, sack bool) bool {
+		s := Segment{
+			SrcPort: sp, DstPort: dp,
+			Seq: Seq(seq), Ack: Seq(ack),
+			Flags: Flags(flags & 0x3f), Wnd: wnd,
+			MSS: mss, WScale: int8(ws % 15),
+			HasTS: hasTS, SACKPerm: sack,
+		}
+		if hasTS {
+			s.TSVal, s.TSEcr = tsv, tse
+		}
+		got, _, err := ParseHeader(s.MarshalHeader())
+		if err != nil {
+			return false
+		}
+		got.Payload = buf.Empty
+		want := s
+		if want.MSS == 0 {
+			want.WScale = got.WScale // MSS=0 means option omitted; WScale still emitted
+		}
+		return got.SrcPort == want.SrcPort && got.DstPort == want.DstPort &&
+			got.Seq == want.Seq && got.Ack == want.Ack &&
+			got.Flags == want.Flags && got.Wnd == want.Wnd &&
+			got.MSS == want.MSS && got.HasTS == want.HasTS &&
+			got.TSVal == want.TSVal && got.TSEcr == want.TSEcr &&
+			got.SACKPerm == want.SACKPerm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseHeaderErrors(t *testing.T) {
+	if _, _, err := ParseHeader(make([]byte, 10)); err == nil {
+		t.Error("short header accepted")
+	}
+	s := Segment{WScale: -1}
+	b := s.MarshalHeader()
+	b[12] = 3 << 4 // offset 12 < 20
+	if _, _, err := ParseHeader(b); err == nil {
+		t.Error("bad offset accepted")
+	}
+	// Truncated option.
+	s2 := Segment{WScale: -1, MSS: 1460}
+	b2 := s2.MarshalHeader()
+	b2[21] = 40 // MSS option claims length 40
+	if _, _, err := ParseHeader(b2); err == nil {
+		t.Error("overlong option accepted")
+	}
+}
+
+func TestSegLenCountsSynFin(t *testing.T) {
+	s := Segment{Flags: SYN, Payload: buf.Virtual(10), WScale: -1}
+	if s.SegLen() != 11 {
+		t.Errorf("SYN SegLen = %d", s.SegLen())
+	}
+	s.Flags = SYN | FIN
+	if s.SegLen() != 12 {
+		t.Errorf("SYN|FIN SegLen = %d", s.SegLen())
+	}
+}
+
+func TestChecksumFieldHelpers(t *testing.T) {
+	s := Segment{WScale: -1}
+	b := s.MarshalHeader()
+	SetChecksum(b, 0xabcd)
+	if GetChecksum(b) != 0xabcd {
+		t.Error("checksum field round trip failed")
+	}
+}
+
+func TestFlagsString(t *testing.T) {
+	if got := (SYN | ACK).String(); got != "SYN|ACK" {
+		t.Errorf("Flags.String = %q", got)
+	}
+	if got := Flags(0).String(); got != "none" {
+		t.Errorf("empty Flags.String = %q", got)
+	}
+}
+
+func TestRTTEstimatorConverges(t *testing.T) {
+	var r RTTEstimator
+	for i := 0; i < 100; i++ {
+		r.Sample(1_000_000) // steady 1 ms
+	}
+	if got := r.SRTT(); got < 900_000 || got > 1_100_000 {
+		t.Errorf("SRTT = %d, want ~1ms", got)
+	}
+	if r.RTO() != MinRTO {
+		t.Errorf("RTO = %d, want clamped MinRTO with tiny variance", r.RTO())
+	}
+}
+
+func TestRTTEstimatorInitialRTO(t *testing.T) {
+	var r RTTEstimator
+	if r.RTO() != InitialRTO {
+		t.Errorf("initial RTO = %d", r.RTO())
+	}
+}
+
+func TestRTTBackoffDoublesAndClamps(t *testing.T) {
+	var r RTTEstimator
+	r.Sample(100 * 1_000_000) // 100 ms -> RTO 300 ms
+	base := r.RTO()
+	if got := r.BackedOffRTO(1); got != 2*base {
+		t.Errorf("1 backoff = %d, want %d", got, 2*base)
+	}
+	if got := r.BackedOffRTO(40); got != MaxRTO {
+		t.Errorf("huge backoff = %d, want MaxRTO", got)
+	}
+}
+
+func TestRTTVarianceRaisesRTO(t *testing.T) {
+	var r RTTEstimator
+	for i := 0; i < 50; i++ {
+		if i%2 == 0 {
+			r.Sample(100 * 1_000_000)
+		} else {
+			r.Sample(500 * 1_000_000)
+		}
+	}
+	if r.RTO() <= r.SRTT() {
+		t.Errorf("RTO %d not above SRTT %d despite variance", r.RTO(), r.SRTT())
+	}
+}
+
+func TestRTTIgnoresNegativeSamples(t *testing.T) {
+	var r RTTEstimator
+	r.Sample(-5)
+	if r.Samples() != 0 {
+		t.Error("negative sample counted")
+	}
+}

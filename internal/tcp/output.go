@@ -1,0 +1,203 @@
+package tcp
+
+import "repro/internal/buf"
+
+// This file is the transmit half of the engine — the moral equivalent of
+// the paper's schedule/transmit FSM core (Figure 2): pick sendable data
+// under min(cwnd, peer window), build segments, retain them for
+// retransmission, and manage the retransmit/persist timers.
+
+// usableWindow reports how many payload bytes may enter the network now.
+func (c *Conn) usableWindow() int {
+	wnd := c.sndWnd
+	if c.cwnd < wnd {
+		wnd = c.cwnd
+	}
+	inFlight := c.sndNxt.Diff(c.sndUna)
+	u := wnd - inFlight
+	if u < 0 {
+		u = 0
+	}
+	return u
+}
+
+// pushFlight retains a transmitted segment for retransmission and advances
+// sndNxt over the sequence space it consumes.
+func (c *Conn) pushFlight(seg *Segment, now int64, isRecord bool) {
+	f := &flightSeg{
+		seq:      seg.Seq,
+		payload:  seg.Payload,
+		flags:    seg.Flags & (SYN | FIN),
+		sentAt:   now,
+		isRecord: isRecord,
+	}
+	c.flight = append(c.flight, f)
+	c.sndNxt = c.sndNxt.Add(f.segLen())
+}
+
+// output transmits whatever the current windows allow: queued records or
+// stream bytes, then a queued FIN, then any pending pure ACK.
+func (c *Conn) output(now int64, a *Actions) {
+	if c.state == Established || c.state == CloseWait || c.state == FinWait1 ||
+		c.state == Closing || c.state == LastAck {
+		if c.cfg.Mode == Record {
+			c.outputRecords(now, a)
+		} else {
+			c.outputStream(now, a)
+		}
+		c.outputFin(now, a)
+	}
+	if c.ackPending {
+		if c.cfg.DelayedAck && c.delackCount < 2 && c.delackDeadline != 0 {
+			// Hold for the delayed-ack timer or a second segment.
+		} else {
+			c.sendAck(now, a)
+		}
+	}
+	c.managePersist(now)
+	if len(c.flight) > 0 && c.rexmtDeadline == 0 {
+		c.armRexmt(now)
+	}
+}
+
+// outputRecords sends whole queued messages, one segment each. A message
+// may exceed the usable window only when nothing is in flight: with
+// arbitrary-size segments the window must admit at least one message or
+// the connection would deadlock (mirrors TCP's always-send-one-MSS rule).
+func (c *Conn) outputRecords(now int64, a *Actions) {
+	for len(c.pendingRecords) > 0 {
+		rec := c.pendingRecords[0]
+		usable := c.usableWindow()
+		if rec.Len() > usable {
+			if c.sndNxt != c.sndUna {
+				return // something in flight; wait for acks
+			}
+			// Nothing in flight: allowed only if the peer's whole window
+			// (not cwnd) could ever admit it, else wait for window update.
+			if rec.Len() > c.sndWnd {
+				return
+			}
+		}
+		c.pendingRecords = c.pendingRecords[1:]
+		c.pendingLen -= rec.Len()
+		seg := c.makeSeg(ACK|PSH, rec)
+		seg.Seq = c.sndNxt
+		c.stampTS(seg, now)
+		c.pushFlight(seg, now, true)
+		c.emit(a, seg)
+	}
+}
+
+// outputStream sends MSS-sized chunks of the byte stream, applying Nagle
+// unless NoDelay is set.
+func (c *Conn) outputStream(now int64, a *Actions) {
+	for c.pendingLen > 0 {
+		usable := c.usableWindow()
+		n := c.pendingLen
+		if n > c.sndMSS {
+			n = c.sndMSS
+		}
+		if n > usable {
+			if usable == 0 || c.sndNxt != c.sndUna {
+				// Sender-side SWS avoidance: send a short segment only if
+				// it empties the queue and nothing is outstanding.
+				return
+			}
+			n = usable
+		}
+		if n < c.sndMSS && n < c.pendingLen {
+			return // never send a runt that leaves bytes behind
+		}
+		if !c.cfg.NoDelay && n < c.sndMSS && c.sndNxt != c.sndUna {
+			return // Nagle: one sub-MSS segment in flight at a time
+		}
+		payload := c.takePending(n)
+		flags := ACK
+		if c.pendingLen == 0 {
+			flags |= PSH
+		}
+		seg := c.makeSeg(flags, payload)
+		seg.Seq = c.sndNxt
+		c.stampTS(seg, now)
+		c.pushFlight(seg, now, false)
+		c.emit(a, seg)
+	}
+}
+
+// takePending removes n bytes from the head of the stream send queue.
+func (c *Conn) takePending(n int) buf.Buf {
+	var parts []buf.Buf
+	got := 0
+	for got < n {
+		head := c.pendingBytes[0]
+		take := n - got
+		if take >= head.Len() {
+			parts = append(parts, head)
+			got += head.Len()
+			c.pendingBytes = c.pendingBytes[1:]
+		} else {
+			parts = append(parts, head.Slice(0, take))
+			c.pendingBytes[0] = head.Slice(take, head.Len())
+			got += take
+		}
+	}
+	c.pendingLen -= n
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return buf.Concat(parts...)
+}
+
+// outputFin transmits the queued FIN once all data is out.
+func (c *Conn) outputFin(now int64, a *Actions) {
+	if !c.finQueued || c.finSent || c.pendingLen > 0 {
+		return
+	}
+	seg := c.makeSeg(FIN|ACK, buf.Empty)
+	seg.Seq = c.sndNxt
+	c.stampTS(seg, now)
+	c.finSeq = c.sndNxt
+	c.finSent = true
+	c.pushFlight(seg, now, false)
+	c.emit(a, seg)
+}
+
+// windowBlocked reports whether queued data cannot make progress until the
+// peer opens its window: nothing in flight and the window cannot admit the
+// head of the queue (for records, the whole message; for a stream, any byte).
+func (c *Conn) windowBlocked() bool {
+	if c.pendingLen == 0 || c.sndNxt != c.sndUna {
+		return false
+	}
+	if c.cfg.Mode == Record {
+		return len(c.pendingRecords) > 0 && c.pendingRecords[0].Len() > c.sndWnd
+	}
+	return c.sndWnd == 0
+}
+
+// managePersist arms the persist timer when data waits on an inadequate
+// send window, so a lost window update cannot deadlock the connection.
+func (c *Conn) managePersist(now int64) {
+	blocked := c.windowBlocked()
+	if blocked && c.persistDeadline == 0 {
+		c.persistBackoff = 0
+		c.persistDeadline = now + c.rtt.BackedOffRTO(c.persistBackoff)
+	}
+	if !blocked {
+		c.persistDeadline = 0
+	}
+}
+
+// updateSndWnd applies a peer window advertisement per RFC 793's WL1/WL2
+// rules.
+func (c *Conn) updateSndWnd(seg *Segment) {
+	wnd := int(seg.Wnd) << c.sndScale
+	if seg.Flags.Has(SYN) {
+		wnd = int(seg.Wnd) // SYN windows are unscaled
+	}
+	if c.sndWl1.Lt(seg.Seq) || (c.sndWl1 == seg.Seq && c.sndWl2.Leq(seg.Ack)) {
+		c.sndWnd = wnd
+		c.sndWl1 = seg.Seq
+		c.sndWl2 = seg.Ack
+	}
+}

@@ -1,0 +1,41 @@
+// Package tcp implements the TCP engine shared by the QPIP NIC firmware and
+// the host-based baseline stack. Per the paper (§4.1) it implements RTT
+// estimation, window management, congestion and flow control, and the
+// RFC 1323 timestamp and window-scaling enhancements, with header-prediction
+// fast paths per Stevens & Wright. Out-of-order reassembly and urgent data
+// are deliberately omitted, exactly as in the prototype.
+//
+// The package is simulation-free and side-effect-free: time enters as
+// explicit nanosecond arguments and segments to transmit are returned to the
+// caller, so the same engine runs inside the simulated NIC (record mode,
+// one QP message per segment) and inside the simulated host kernel (stream
+// mode with MSS segmentation).
+package tcp
+
+// Seq is a TCP sequence number with modular comparison semantics (RFC 793
+// §3.3). All comparisons are valid provided the compared values lie within
+// a 2^31 window of one another.
+type Seq uint32
+
+// Lt reports s < t in sequence space.
+func (s Seq) Lt(t Seq) bool { return int32(t-s) > 0 }
+
+// Leq reports s <= t in sequence space.
+func (s Seq) Leq(t Seq) bool { return int32(t-s) >= 0 }
+
+// Gt reports s > t in sequence space.
+func (s Seq) Gt(t Seq) bool { return t.Lt(s) }
+
+// Geq reports s >= t in sequence space.
+func (s Seq) Geq(t Seq) bool { return t.Leq(s) }
+
+// Add advances s by n bytes.
+func (s Seq) Add(n int) Seq { return s + Seq(uint32(n)) }
+
+// Diff reports the signed distance from t to s (s - t).
+func (s Seq) Diff(t Seq) int { return int(int32(s - t)) }
+
+// InWindow reports whether s lies in the half-open window [lo, lo+size).
+func (s Seq) InWindow(lo Seq, size int) bool {
+	return lo.Leq(s) && s.Lt(lo.Add(size))
+}

@@ -1,0 +1,82 @@
+// Package trace provides the instrumentation used to regenerate the
+// paper's occupancy tables: named stage timers (Tables 2 and 3 are
+// per-stage means measured with the LANai cycle counter) and simple
+// counters.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Stage accumulates observations of one named processing stage.
+type Stage struct {
+	Count uint64
+	Total sim.Time
+}
+
+// MeanMicros reports the mean stage time in microseconds.
+func (s *Stage) MeanMicros() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total.Micros() / float64(s.Count)
+}
+
+// Stages is a set of named stage timers.
+type Stages struct {
+	m map[string]*Stage
+}
+
+// NewStages returns an empty stage set.
+func NewStages() *Stages { return &Stages{m: make(map[string]*Stage)} }
+
+// Add records one observation of duration d for the named stage.
+func (s *Stages) Add(name string, d sim.Time) {
+	st := s.m[name]
+	if st == nil {
+		st = &Stage{}
+		s.m[name] = st
+	}
+	st.Count++
+	st.Total += d
+}
+
+// Get returns the named stage (nil if never observed).
+func (s *Stages) Get(name string) *Stage { return s.m[name] }
+
+// Mean reports the mean time in microseconds for the named stage (0 if
+// never observed).
+func (s *Stages) Mean(name string) float64 {
+	st := s.m[name]
+	if st == nil {
+		return 0
+	}
+	return st.MeanMicros()
+}
+
+// Names reports all observed stage names, sorted.
+func (s *Stages) Names() []string {
+	out := make([]string, 0, len(s.m))
+	for k := range s.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset clears all stages.
+func (s *Stages) Reset() { s.m = make(map[string]*Stage) }
+
+// String renders the stage table.
+func (s *Stages) String() string {
+	var b strings.Builder
+	for _, n := range s.Names() {
+		st := s.m[n]
+		fmt.Fprintf(&b, "%-24s %8d x %8.2f us\n", n, st.Count, st.MeanMicros())
+	}
+	return b.String()
+}

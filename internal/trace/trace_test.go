@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestStagesAccumulate(t *testing.T) {
+	s := NewStages()
+	s.Add("Get WR", 5500*sim.Nanosecond)
+	s.Add("Get WR", 5500*sim.Nanosecond)
+	s.Add("Send", 1000*sim.Nanosecond)
+	if got := s.Mean("Get WR"); got != 5.5 {
+		t.Errorf("Mean = %v, want 5.5", got)
+	}
+	if st := s.Get("Get WR"); st.Count != 2 {
+		t.Errorf("Count = %d", st.Count)
+	}
+	if got := s.Mean("missing"); got != 0 {
+		t.Errorf("Mean(missing) = %v", got)
+	}
+}
+
+func TestStagesNamesSorted(t *testing.T) {
+	s := NewStages()
+	s.Add("b", 1)
+	s.Add("a", 1)
+	s.Add("c", 1)
+	names := s.Names()
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestStagesReset(t *testing.T) {
+	s := NewStages()
+	s.Add("x", 100)
+	s.Reset()
+	if s.Get("x") != nil {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestStagesString(t *testing.T) {
+	s := NewStages()
+	s.Add("Media Rcv", sim.Microsecond)
+	out := s.String()
+	if !strings.Contains(out, "Media Rcv") || !strings.Contains(out, "1.00") {
+		t.Errorf("String() = %q", out)
+	}
+}
+
+func TestMeanMicrosZeroCount(t *testing.T) {
+	var st Stage
+	if st.MeanMicros() != 0 {
+		t.Error("empty stage mean nonzero")
+	}
+}

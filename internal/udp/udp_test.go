@@ -1,0 +1,160 @@
+package udp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/buf"
+	"repro/internal/inet"
+)
+
+func TestMarshal6ParseRoundTrip(t *testing.T) {
+	src, dst := inet.NodeAddr6(0), inet.NodeAddr6(1)
+	payload := buf.Pattern(100, 1)
+	b := Marshal6(src, dst, 5000, 80, payload)
+	h, plen, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SrcPort != 5000 || h.DstPort != 80 {
+		t.Errorf("ports = %d->%d", h.SrcPort, h.DstPort)
+	}
+	if plen != 100 {
+		t.Errorf("payload length = %d", plen)
+	}
+	if err := Verify6(src, dst, b, payload); err != nil {
+		t.Errorf("Verify6: %v", err)
+	}
+}
+
+func TestVerify6DetectsCorruption(t *testing.T) {
+	src, dst := inet.NodeAddr6(0), inet.NodeAddr6(1)
+	payload := buf.Pattern(64, 2)
+	b := Marshal6(src, dst, 1, 2, payload)
+	b[0] ^= 0x01
+	if err := Verify6(src, dst, b, payload); err == nil {
+		t.Error("corrupted header passed checksum")
+	}
+	// Corrupted payload.
+	b2 := Marshal6(src, dst, 1, 2, payload)
+	bad := buf.Pattern(64, 3)
+	if err := Verify6(src, dst, b2, bad); err == nil {
+		t.Error("corrupted payload passed checksum")
+	}
+	// Wrong pseudo-header (misdelivered datagram).
+	if err := Verify6(src, inet.NodeAddr6(2), b2, payload); err == nil {
+		t.Error("wrong destination passed checksum")
+	}
+}
+
+func TestMarshal6VirtualPayloadChecksumsMatchReal(t *testing.T) {
+	src, dst := inet.NodeAddr6(0), inet.NodeAddr6(1)
+	virt := Marshal6(src, dst, 9, 10, buf.Virtual(500))
+	real := Marshal6(src, dst, 9, 10, buf.Bytes(make([]byte, 500)))
+	for i := range virt {
+		if virt[i] != real[i] {
+			t.Fatal("virtual payload produced different header bytes than real zeros")
+		}
+	}
+	if err := Verify6(src, dst, virt, buf.Virtual(500)); err != nil {
+		t.Errorf("Verify6 virtual: %v", err)
+	}
+}
+
+func TestMarshal4Verify4(t *testing.T) {
+	src, dst := inet.NodeAddr4(0), inet.NodeAddr4(1)
+	payload := buf.Pattern(33, 4)
+	b := Marshal4(src, dst, 1234, 4321, payload)
+	if err := Verify4(src, dst, b, payload); err != nil {
+		t.Errorf("Verify4: %v", err)
+	}
+	b[1] ^= 0xff
+	if err := Verify4(src, dst, b, payload); err == nil {
+		t.Error("corruption passed")
+	}
+}
+
+func TestVerify4ZeroChecksumMeansUnchecked(t *testing.T) {
+	src, dst := inet.NodeAddr4(0), inet.NodeAddr4(1)
+	b := Marshal4(src, dst, 1, 2, buf.Empty)
+	b[6], b[7] = 0, 0 // sender did not compute a checksum
+	if err := Verify4(src, dst, b, buf.Empty); err != nil {
+		t.Errorf("zero checksum rejected: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, _, err := Parse([]byte{1, 2, 3}); err == nil {
+		t.Error("short datagram accepted")
+	}
+	b := Marshal6(inet.NodeAddr6(0), inet.NodeAddr6(1), 1, 2, buf.Empty)
+	b[4], b[5] = 0, 3 // length < 8
+	if _, _, err := Parse(b); err == nil {
+		t.Error("bad length accepted")
+	}
+}
+
+func TestChecksumNeverZeroOnWire(t *testing.T) {
+	// Search a few payloads; regardless of content the emitted checksum
+	// field must never be zero (RFC 768 / RFC 2460 rule).
+	f := func(payload []byte, sp, dp uint16) bool {
+		b := Marshal6(inet.NodeAddr6(0), inet.NodeAddr6(1), sp, dp, buf.Bytes(payload))
+		return b[6] != 0 || b[7] != 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPortSpaceBindLookup(t *testing.T) {
+	ps := NewPortSpace[string]()
+	port, err := ps.Bind(80, "web")
+	if err != nil || port != 80 {
+		t.Fatalf("Bind(80) = %d, %v", port, err)
+	}
+	if _, err := ps.Bind(80, "dup"); err == nil {
+		t.Error("duplicate bind accepted")
+	}
+	if ep, ok := ps.Lookup(80); !ok || ep != "web" {
+		t.Errorf("Lookup(80) = %q, %v", ep, ok)
+	}
+	ps.Unbind(80)
+	if _, ok := ps.Lookup(80); ok {
+		t.Error("lookup after unbind succeeded")
+	}
+}
+
+func TestPortSpaceEphemeral(t *testing.T) {
+	ps := NewPortSpace[int]()
+	seen := map[uint16]bool{}
+	for i := 0; i < 100; i++ {
+		p, err := ps.Bind(0, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 49152 {
+			t.Fatalf("ephemeral port %d below dynamic range", p)
+		}
+		if seen[p] {
+			t.Fatalf("ephemeral port %d reused while bound", p)
+		}
+		seen[p] = true
+	}
+	if ps.Len() != 100 {
+		t.Errorf("Len = %d", ps.Len())
+	}
+}
+
+func TestPortSpaceEphemeralSkipsTaken(t *testing.T) {
+	ps := NewPortSpace[int]()
+	if _, err := ps.Bind(49152, 0); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ps.Bind(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == 49152 {
+		t.Error("ephemeral allocation returned a taken port")
+	}
+}

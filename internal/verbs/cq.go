@@ -1,0 +1,92 @@
+package verbs
+
+import (
+	"repro/internal/params"
+	"repro/internal/sim"
+)
+
+// CQ is a completion queue, resident in host memory. The adapter appends
+// tokens by DMA; applications detect them "through polling or an event"
+// (paper §2.1). Polling spins in the processor cache (paper §5.1), so an
+// empty poll is nearly free while a successful poll pays the reap cost.
+type CQ struct {
+	dev      Device
+	depth    int
+	entries  []Completion
+	waiter   *sim.Proc
+	overflow uint64
+
+	polls, emptyPolls, waits uint64
+}
+
+// NewCQ creates a completion queue of the given depth on dev.
+func NewCQ(dev Device, depth int) *CQ {
+	if depth <= 0 {
+		depth = 256
+	}
+	return &CQ{dev: dev, depth: depth}
+}
+
+// Depth reports the CQ capacity.
+func (c *CQ) Depth() int { return c.depth }
+
+// Len reports queued completions.
+func (c *CQ) Len() int { return len(c.entries) }
+
+// Overflows reports completions dropped because the CQ was full — always a
+// sizing bug in the application, never silent.
+func (c *CQ) Overflows() uint64 { return c.overflow }
+
+// Push appends a completion. Called by the Device in simulation context
+// (the adapter's DMA of the token has already been charged). It wakes a
+// waiting process.
+func (c *CQ) Push(comp Completion) {
+	if len(c.entries) >= c.depth {
+		c.overflow++
+		return
+	}
+	c.entries = append(c.entries, comp)
+	if c.waiter != nil {
+		w := c.waiter
+		c.waiter = nil
+		w.Wake()
+	}
+}
+
+// Poll attempts to reap one completion, charging the host CPU for the
+// attempt. It is the QPIP analog of a non-blocking select() (paper §3).
+func (c *CQ) Poll(p *sim.Proc) (Completion, bool) {
+	c.polls++
+	if len(c.entries) == 0 {
+		c.emptyPolls++
+		p.Use(c.dev.HostCPU().Server, params.US(params.VerbsPollEmptyUS))
+		return Completion{}, false
+	}
+	p.Use(c.dev.HostCPU().Server, params.US(params.VerbsPollUS))
+	comp := c.entries[0]
+	c.entries = c.entries[1:]
+	return comp, true
+}
+
+// Wait blocks the process until a completion is available and reaps it.
+// The wakeup models the prototype's "lightweight interrupt service
+// routine to process events" (paper §4.1): the ISR cost lands on the host
+// CPU before the process resumes.
+func (c *CQ) Wait(p *sim.Proc) Completion {
+	for {
+		if comp, ok := c.Poll(p); ok {
+			return comp
+		}
+		c.waits++
+		c.waiter = p
+		p.Suspend()
+		// Interrupt-driven wakeup: the lightweight ISR runs before the
+		// process reaps.
+		p.Use(c.dev.HostCPU().Server, params.US(params.VerbsWakeupUS))
+	}
+}
+
+// PollStats reports (total polls, empty polls, blocking waits).
+func (c *CQ) PollStats() (polls, empty, waits uint64) {
+	return c.polls, c.emptyPolls, c.waits
+}

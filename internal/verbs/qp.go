@@ -1,0 +1,279 @@
+package verbs
+
+import (
+	"fmt"
+
+	"repro/internal/inet"
+	"repro/internal/params"
+	"repro/internal/sim"
+)
+
+// QP is a queue pair: "the logical endpoint of a communication link ...
+// a send and a receive queue of work requests" (paper §2.1). The queues
+// live in host memory; the adapter consumes WRs via DMA after doorbell
+// notifications and posts completions to the bound CQs.
+type QP struct {
+	QPN       uint32
+	Transport TransportType
+	SendCQ    *CQ
+	RecvCQ    *CQ
+
+	dev        Device
+	state      QPState
+	err        error
+	sendQ      []SendWR
+	recvQ      []RecvWR
+	sendDepth  int
+	recvDepth  int
+	outSend    int // posted send WRs not yet completed
+	outRecv    int
+	postedRecv int // bytes of receive capacity not yet consumed
+	estWaiter  *sim.Proc
+
+	// Connection identity, filled during connect/accept/bind.
+	LocalPort  uint16
+	RemoteAddr inet.Addr6
+	RemotePort uint16
+
+	posts, recvPosts uint64
+}
+
+// QPConfig sizes a queue pair.
+type QPConfig struct {
+	Transport TransportType
+	SendCQ    *CQ
+	RecvCQ    *CQ
+	// SendDepth / RecvDepth bound outstanding WRs (default 128).
+	SendDepth, RecvDepth int
+}
+
+var nextQPN uint32 = 16 // low QPNs reserved, as in Infiniband
+
+// NewQP creates a queue pair and registers it with the device.
+func NewQP(dev Device, cfg QPConfig) (*QP, error) {
+	if cfg.SendCQ == nil || cfg.RecvCQ == nil {
+		return nil, fmt.Errorf("verbs: QP requires send and receive CQs")
+	}
+	if cfg.SendDepth <= 0 {
+		cfg.SendDepth = 128
+	}
+	if cfg.RecvDepth <= 0 {
+		cfg.RecvDepth = 128
+	}
+	nextQPN++
+	qp := &QP{
+		QPN:       nextQPN,
+		Transport: cfg.Transport,
+		SendCQ:    cfg.SendCQ,
+		RecvCQ:    cfg.RecvCQ,
+		dev:       dev,
+		sendDepth: cfg.SendDepth,
+		recvDepth: cfg.RecvDepth,
+	}
+	if err := dev.CreateQP(qp); err != nil {
+		return nil, err
+	}
+	return qp, nil
+}
+
+// State reports the QP lifecycle state.
+func (q *QP) State() QPState { return q.state }
+
+// Err reports the error that moved the QP to QPError, if any.
+func (q *QP) Err() error { return q.err }
+
+// PostSend posts a send work request and rings the doorbell. "The posting
+// method adds the WR to the appropriate queue and notifies the adapter of
+// a pending operation" (paper §2.1).
+func (q *QP) PostSend(p *sim.Proc, wr SendWR) error {
+	if q.state != QPEstablished && !(q.Transport == Unreliable && q.state != QPError && q.state != QPClosed) {
+		if q.state == QPError {
+			return q.err
+		}
+		return ErrBadState
+	}
+	if q.outSend >= q.sendDepth {
+		return ErrQueueFull
+	}
+	if wr.Payload.Len() > q.dev.MaxMessage() {
+		return fmt.Errorf("%w: %d > %d", ErrTooBig, wr.Payload.Len(), q.dev.MaxMessage())
+	}
+	// Build the WR in the host-resident queue, then one uncached doorbell
+	// write. Calibrated against paper Table 1 (2.5 us total host overhead
+	// for send+receive of a 1-byte message).
+	p.Use(q.dev.HostCPU().Server, params.US(params.VerbsPostSendUS))
+	q.outSend++
+	q.posts++
+	q.sendQ = append(q.sendQ, wr)
+	q.dev.SendDoorbell(q)
+	return nil
+}
+
+// PostRecv posts a receive work request identifying buffer capacity for
+// one incoming message. Posting receive space grows the connection's TCP
+// receive window (paper §5.1).
+func (q *QP) PostRecv(p *sim.Proc, wr RecvWR) error {
+	if q.state == QPError {
+		return q.err
+	}
+	if q.state == QPClosed {
+		return ErrBadState
+	}
+	if q.outRecv >= q.recvDepth {
+		return ErrQueueFull
+	}
+	if wr.Capacity <= 0 {
+		return fmt.Errorf("verbs: receive WR needs positive capacity")
+	}
+	p.Use(q.dev.HostCPU().Server, params.US(params.VerbsPostRecvUS))
+	q.outRecv++
+	q.recvPosts++
+	q.postedRecv += wr.Capacity
+	q.recvQ = append(q.recvQ, wr)
+	q.dev.RecvPosted(q)
+	return nil
+}
+
+// Connect initiates the TCP rendezvous to a remote listener and blocks
+// until established or failed. The handshake runs entirely in the
+// interface; "the host [is] only notified when the connection is
+// established" (paper §3).
+func (q *QP) Connect(p *sim.Proc, raddr inet.Addr6, rport uint16) error {
+	if q.Transport != Reliable {
+		return ErrNotSupported
+	}
+	if q.state != QPReset {
+		return ErrBadState
+	}
+	q.state = QPConnecting
+	if err := q.dev.Connect(q, raddr, rport); err != nil {
+		q.state = QPError
+		q.err = err
+		return err
+	}
+	return q.WaitEstablished(p)
+}
+
+// WaitEstablished parks until the QP leaves QPConnecting.
+func (q *QP) WaitEstablished(p *sim.Proc) error {
+	for q.state == QPConnecting {
+		q.estWaiter = p
+		p.Suspend()
+	}
+	if q.state != QPEstablished {
+		if q.err != nil {
+			return q.err
+		}
+		return ErrBadState
+	}
+	return nil
+}
+
+// BindUDP binds an unreliable QP to a local UDP port (0 = ephemeral).
+func (q *QP) BindUDP(port uint16) (uint16, error) {
+	if q.Transport != Unreliable {
+		return 0, ErrNotSupported
+	}
+	got, err := q.dev.BindUDP(q, port)
+	if err != nil {
+		return 0, err
+	}
+	q.LocalPort = got
+	q.state = QPEstablished
+	return got, nil
+}
+
+// Close tears the QP down, flushing outstanding WRs with StatusFlushed.
+func (q *QP) Close() {
+	if q.state == QPClosed {
+		return
+	}
+	q.dev.DestroyQP(q)
+	q.state = QPClosed
+}
+
+// ---- Adapter-side interface (used by Device implementations). ----
+
+// TakeSendWR consumes the oldest posted send WR (the firmware's Get WR
+// stage has been charged by the caller).
+func (q *QP) TakeSendWR() (SendWR, bool) {
+	if len(q.sendQ) == 0 {
+		return SendWR{}, false
+	}
+	wr := q.sendQ[0]
+	q.sendQ = q.sendQ[1:]
+	return wr, true
+}
+
+// TakeRecvWR consumes the oldest posted receive WR.
+func (q *QP) TakeRecvWR() (RecvWR, bool) {
+	if len(q.recvQ) == 0 {
+		return RecvWR{}, false
+	}
+	wr := q.recvQ[0]
+	q.recvQ = q.recvQ[1:]
+	q.postedRecv -= wr.Capacity
+	return wr, true
+}
+
+// PendingSendWRs reports posted-but-unconsumed send WRs.
+func (q *QP) PendingSendWRs() int { return len(q.sendQ) }
+
+// PostedRecvBytes reports unconsumed receive capacity; the firmware
+// advertises it as the TCP receive window.
+func (q *QP) PostedRecvBytes() int { return q.postedRecv }
+
+// CompleteSend posts a send completion (adapter context).
+func (q *QP) CompleteSend(wrID uint64, status Status, n int) {
+	q.outSend--
+	q.SendCQ.Push(Completion{QPN: q.QPN, WRID: wrID, Op: OpSend, Status: status, ByteLen: n})
+}
+
+// CompleteRecv posts a receive completion (adapter context).
+func (q *QP) CompleteRecv(comp Completion) {
+	q.outRecv--
+	comp.QPN = q.QPN
+	comp.Op = OpRecv
+	q.RecvCQ.Push(comp)
+}
+
+// SetEstablished marks the QP connected and wakes a waiting process.
+func (q *QP) SetEstablished(local, remote uint16, raddr inet.Addr6) {
+	q.LocalPort, q.RemotePort, q.RemoteAddr = local, remote, raddr
+	q.state = QPEstablished
+	q.wakeEst()
+}
+
+// SetError fails the QP and flushes outstanding WRs.
+func (q *QP) SetError(err error) {
+	if q.state == QPError || q.state == QPClosed {
+		return
+	}
+	q.state = QPError
+	q.err = err
+	q.Flush()
+	q.wakeEst()
+}
+
+// Flush completes all posted-but-unconsumed WRs with StatusFlushed.
+func (q *QP) Flush() {
+	for _, wr := range q.sendQ {
+		q.outSend--
+		q.SendCQ.Push(Completion{QPN: q.QPN, WRID: wr.ID, Op: OpSend, Status: StatusFlushed})
+	}
+	q.sendQ = nil
+	for _, wr := range q.recvQ {
+		q.outRecv--
+		q.RecvCQ.Push(Completion{QPN: q.QPN, WRID: wr.ID, Op: OpRecv, Status: StatusFlushed})
+	}
+	q.recvQ = nil
+	q.postedRecv = 0
+}
+
+func (q *QP) wakeEst() {
+	if q.estWaiter != nil {
+		w := q.estWaiter
+		q.estWaiter = nil
+		w.Wake()
+	}
+}

@@ -1,0 +1,199 @@
+// Package verbs implements the Queue Pair communication abstraction QPIP
+// adopts from the Infiniband specification (paper §2.1, §3): Queue Pairs
+// holding send and receive queues of Work Requests, Completion Queues,
+// and the library methods PostSend, PostRecv, Poll and Wait (paper §4.1).
+//
+// QP and CQ structures are resident in host memory and are read and
+// written by the NIC through DMA; the host library's only interactions
+// with the adapter are doorbell writes across the PCI bus and (for Wait)
+// a lightweight interrupt. The host-side CPU costs of each method are the
+// quantities paper Table 1 reports.
+package verbs
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/buf"
+	"repro/internal/inet"
+	"repro/internal/sim"
+)
+
+// TransportType selects the inter-network transport beneath a QP.
+type TransportType int
+
+const (
+	// Reliable runs over TCP: connected, acknowledged, in-order
+	// (Infiniband RC analog).
+	Reliable TransportType = iota
+	// Unreliable runs over UDP: connectionless best-effort datagrams
+	// (Infiniband UD analog).
+	Unreliable
+)
+
+func (t TransportType) String() string {
+	if t == Reliable {
+		return "RC/TCP"
+	}
+	return "UD/UDP"
+}
+
+// QPState is the queue pair lifecycle state.
+type QPState int
+
+// QP states.
+const (
+	QPReset QPState = iota
+	QPConnecting
+	QPEstablished
+	QPError
+	QPClosed
+)
+
+// Op distinguishes completion types.
+type Op int
+
+// Completion operations.
+const (
+	OpSend Op = iota
+	OpRecv
+)
+
+// Status is a completion status.
+type Status int
+
+// Completion statuses.
+const (
+	StatusSuccess Status = iota
+	// StatusFlushed marks WRs drained when a QP failed or closed.
+	StatusFlushed
+	// StatusLenError marks a receive whose WR buffer was too small for
+	// the arriving message.
+	StatusLenError
+	// StatusRemoteError marks a send aborted by connection failure.
+	StatusRemoteError
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusSuccess:
+		return "success"
+	case StatusFlushed:
+		return "flushed"
+	case StatusLenError:
+		return "length-error"
+	case StatusRemoteError:
+		return "remote-error"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// SendWR is a send work request: the message payload plus, for unreliable
+// QPs, the destination ("The WRs in a UDP QP identify the target ...
+// address/port", paper §3).
+type SendWR struct {
+	ID      uint64
+	Payload buf.Buf
+	// Unreliable QPs only:
+	RemoteAddr inet.Addr6
+	RemotePort uint16
+}
+
+// RecvWR is a receive work request identifying buffer capacity for one
+// incoming message.
+type RecvWR struct {
+	ID       uint64
+	Capacity int
+}
+
+// Completion is a CQ entry.
+type Completion struct {
+	QPN     uint32
+	WRID    uint64
+	Op      Op
+	Status  Status
+	ByteLen int
+	// Payload carries received data (Op == OpRecv).
+	Payload buf.Buf
+	// Source of an unreliable receive.
+	RemoteAddr inet.Addr6
+	RemotePort uint16
+}
+
+// Errors returned by the verbs layer.
+var (
+	ErrQueueFull    = errors.New("verbs: work queue full")
+	ErrBadState     = errors.New("verbs: QP in wrong state")
+	ErrTooBig       = errors.New("verbs: message exceeds device maximum")
+	ErrCQOverflow   = errors.New("verbs: completion queue overflow")
+	ErrPortBusy     = errors.New("verbs: port in use")
+	ErrNoRoute      = errors.New("verbs: no route to destination")
+	ErrConnRefused  = errors.New("verbs: connection refused")
+	ErrNotSupported = errors.New("verbs: operation not supported")
+)
+
+// Device is the adapter seen from the host library: the QPIP NIC firmware
+// implements it. Methods are invoked in simulation context; management
+// operations model the paper's management FSM.
+type Device interface {
+	// HostCPU is the processor host-side verbs costs are charged to.
+	HostCPU() *sim.CPU
+	// MaxMessage reports the largest message a QP message may carry (one
+	// message maps to one TCP segment, so this is MTU-derived).
+	MaxMessage() int
+	// CreateQP registers a new QP with the adapter (management FSM).
+	CreateQP(qp *QP) error
+	// DestroyQP tears a QP down, flushing outstanding WRs.
+	DestroyQP(qp *QP)
+	// BindUDP binds an unreliable QP to a UDP port (0 = ephemeral).
+	BindUDP(qp *QP, port uint16) (uint16, error)
+	// Connect initiates the TCP rendezvous for a reliable QP.
+	Connect(qp *QP, raddr inet.Addr6, rport uint16) error
+	// Listen instructs the interface to monitor a TCP port for incoming
+	// connections (paper §3).
+	Listen(port uint16) (*Listener, error)
+	// SendDoorbell notifies the adapter of new send WRs (the PIO write
+	// and FIFO are modeled inside).
+	SendDoorbell(qp *QP)
+	// RecvPosted notifies the adapter of new receive WRs, which grows
+	// the TCP receive window (paper §5.1).
+	RecvPosted(qp *QP)
+}
+
+// Listener is a TCP port being monitored by the adapter. Applications
+// park idle QPs on it; an incoming connection "mates the connection to an
+// idle QP in the server application" (paper §3).
+type Listener struct {
+	Port uint16
+	dev  Device
+	idle []*QP
+}
+
+// NewListener is used by Device implementations.
+func NewListener(port uint16, dev Device) *Listener {
+	return &Listener{Port: port, dev: dev}
+}
+
+// Post parks an idle QP to absorb the next incoming connection.
+func (l *Listener) Post(qp *QP) error {
+	if qp.State() != QPReset {
+		return ErrBadState
+	}
+	qp.state = QPConnecting
+	l.idle = append(l.idle, qp)
+	return nil
+}
+
+// TakeIdle pops an idle QP (used by the firmware when a SYN arrives).
+func (l *Listener) TakeIdle() (*QP, bool) {
+	if len(l.idle) == 0 {
+		return nil, false
+	}
+	qp := l.idle[0]
+	l.idle = l.idle[1:]
+	return qp, true
+}
+
+// Idle reports the number of parked QPs.
+func (l *Listener) Idle() int { return len(l.idle) }

@@ -1,0 +1,23 @@
+// Package wire defines the network-layer packet representation shared by
+// the QPIP NIC firmware and the host-based stacks. Headers are real
+// marshaled bytes; the bulk payload rides as a buf.Buf so gigabyte
+// transfers need not materialize.
+package wire
+
+import "repro/internal/buf"
+
+// Packet is one IP packet: a network header, a transport header, and the
+// transport payload.
+type Packet struct {
+	// IsV4 selects IPv4 (host baseline stacks) vs IPv6 (QPIP, paper §4.1).
+	IsV4 bool
+	// IPHdr is the marshaled IPv4 or IPv6 header.
+	IPHdr []byte
+	// L4Hdr is the marshaled TCP or UDP header (checksum patched in).
+	L4Hdr []byte
+	// Payload is the transport payload.
+	Payload buf.Buf
+}
+
+// Len reports the packet's total network-layer length.
+func (p *Packet) Len() int { return len(p.IPHdr) + len(p.L4Hdr) + p.Payload.Len() }

@@ -1,0 +1,29 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/buf"
+	"repro/internal/inet"
+	"repro/internal/tcp"
+)
+
+func TestPacketLen(t *testing.T) {
+	seg := tcp.Segment{WScale: -1}
+	p := Packet{
+		IPHdr:   inet.Marshal6(&inet.Header6{HopLimit: 64}),
+		L4Hdr:   seg.MarshalHeader(),
+		Payload: buf.Virtual(1000),
+	}
+	want := inet.IPv6HeaderLen + tcp.BaseHeaderLen + 1000
+	if p.Len() != want {
+		t.Errorf("Len = %d, want %d", p.Len(), want)
+	}
+}
+
+func TestPacketLenEmpty(t *testing.T) {
+	var p Packet
+	if p.Len() != 0 {
+		t.Errorf("empty packet Len = %d", p.Len())
+	}
+}

@@ -1,0 +1,156 @@
+// Package qpip is the public API of the QPIP reproduction: Queue Pair IP,
+// a hybrid SAN architecture combining the Infiniband-style queue pair
+// abstraction with the standard inter-network protocol suite (TCP, UDP,
+// IPv6) offloaded onto an intelligent network adapter, after Buonadonna &
+// Culler, "Queue Pair IP: A Hybrid Architecture for System Area Networks"
+// (ISCA 2002).
+//
+// The package exposes three layers:
+//
+//   - Cluster construction: simulated testbeds of nodes carrying QPIP
+//     adapters (Myrinet fabric), conventional GigE adapters, and/or
+//     Myrinet-as-IP adapters, mirroring the paper's PowerEdge testbed.
+//   - The verbs interface: QPs, CQs, work requests and completions —
+//     PostSend, PostRecv, Poll, Wait, plus TCP-rendezvous connection
+//     management handled entirely by the adapter.
+//   - Blocking sockets on the host-based baseline stacks, for
+//     side-by-side comparison.
+//
+// A minimal reliable round trip:
+//
+//	c := qpip.NewQPIPCluster(2)
+//	c.Spawn("server", func(p *qpip.Proc) {
+//		qp, scq, rcq, _ := qpip.NewReliableQP(c.Node(1), 64)
+//		lst, _ := c.Node(1).QPIP.Listen(7000)
+//		lst.Post(qp)
+//		qp.WaitEstablished(p)
+//		qp.PostRecv(p, qpip.RecvWR{ID: 1, Capacity: 4096})
+//		comp := rcq.Wait(p)
+//		_ = comp.Payload // the message
+//		_ = scq
+//	})
+//	c.Spawn("client", func(p *qpip.Proc) {
+//		qp, scq, _, _ := qpip.NewReliableQP(c.Node(0), 64)
+//		qp.Connect(p, c.Node(1).Addr6, 7000)
+//		qp.PostSend(p, qpip.SendWR{ID: 1, Payload: qpip.Message([]byte("hi"))})
+//		scq.Wait(p)
+//	})
+//	c.Run()
+package qpip
+
+import (
+	"repro/internal/buf"
+	"repro/internal/core"
+	"repro/internal/inet"
+	"repro/internal/qpipnic"
+	"repro/internal/sim"
+	"repro/internal/verbs"
+)
+
+// Re-exported simulation types.
+type (
+	// Proc is a simulated application process.
+	Proc = sim.Proc
+	// Time is simulated time in nanoseconds.
+	Time = sim.Time
+)
+
+// Re-exported verbs types: the queue pair interface of paper §3.
+type (
+	// QP is a queue pair.
+	QP = verbs.QP
+	// CQ is a completion queue.
+	CQ = verbs.CQ
+	// SendWR is a send work request.
+	SendWR = verbs.SendWR
+	// RecvWR is a receive work request.
+	RecvWR = verbs.RecvWR
+	// Completion is a CQ entry.
+	Completion = verbs.Completion
+	// Listener is a monitored TCP port that mates incoming connections
+	// to idle QPs.
+	Listener = verbs.Listener
+	// QPConfig sizes a queue pair.
+	QPConfig = verbs.QPConfig
+)
+
+// Re-exported cluster types.
+type (
+	// Cluster is a simulated testbed.
+	Cluster = core.Cluster
+	// Node is one simulated server.
+	Node = core.Node
+	// NodeConfig selects a node's adapters.
+	NodeConfig = core.NodeConfig
+	// Addr6 is an IPv6 address (QPIP addressing).
+	Addr6 = inet.Addr6
+	// Addr4 is an IPv4 address (host-stack addressing).
+	Addr4 = inet.Addr4
+	// Payload is a message payload, real or virtual.
+	Payload = buf.Buf
+)
+
+// Transport types.
+const (
+	// Reliable QPs run over offloaded TCP.
+	Reliable = verbs.Reliable
+	// Unreliable QPs run over offloaded UDP.
+	Unreliable = verbs.Unreliable
+)
+
+// Completion statuses.
+const (
+	StatusSuccess = verbs.StatusSuccess
+	StatusFlushed = verbs.StatusFlushed
+)
+
+// Checksum placement modes for the adapter's receive path.
+const (
+	ChecksumEmulatedHW = qpipnic.ChecksumEmulatedHW
+	ChecksumFirmware   = qpipnic.ChecksumFirmware
+)
+
+// NewCluster builds n nodes with the given adapter configuration.
+func NewCluster(n int, cfg NodeConfig) *Cluster { return core.NewCluster(n, cfg) }
+
+// NewQPIPCluster builds n nodes carrying QPIP adapters at the native
+// 16 KB MTU on a Myrinet fabric — the paper's primary configuration.
+func NewQPIPCluster(n int) *Cluster {
+	return core.NewCluster(n, core.NodeConfig{QPIP: true})
+}
+
+// NewReliableQP creates a reliable (TCP) QP on node with fresh send and
+// receive CQs of the given depth.
+func NewReliableQP(node *Node, depth int) (*QP, *CQ, *CQ, error) {
+	scq := verbs.NewCQ(node.QPIP, depth*2)
+	rcq := verbs.NewCQ(node.QPIP, depth*2)
+	qp, err := verbs.NewQP(node.QPIP, verbs.QPConfig{
+		Transport: verbs.Reliable, SendCQ: scq, RecvCQ: rcq,
+		SendDepth: depth, RecvDepth: depth,
+	})
+	return qp, scq, rcq, err
+}
+
+// NewUnreliableQP creates an unreliable (UDP) QP on node.
+func NewUnreliableQP(node *Node, depth int) (*QP, *CQ, *CQ, error) {
+	scq := verbs.NewCQ(node.QPIP, depth*2)
+	rcq := verbs.NewCQ(node.QPIP, depth*2)
+	qp, err := verbs.NewQP(node.QPIP, verbs.QPConfig{
+		Transport: verbs.Unreliable, SendCQ: scq, RecvCQ: rcq,
+		SendDepth: depth, RecvDepth: depth,
+	})
+	return qp, scq, rcq, err
+}
+
+// Message wraps real bytes as a payload.
+func Message(data []byte) Payload { return buf.Bytes(data) }
+
+// VirtualMessage is a content-free payload of n bytes for bulk benchmarks
+// (checksums still compute correctly; zero content is implied).
+func VirtualMessage(n int) Payload { return buf.Virtual(n) }
+
+// NodeAddr6 returns the deterministic IPv6 address of the i-th node.
+func NodeAddr6(i int) Addr6 { return inet.NodeAddr6(i) }
+
+// NodeAddr4 returns the deterministic IPv4 address of the i-th node.
+func NodeAddr4(i int) Addr4 { return inet.NodeAddr4(i) }
