@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: build test vet race fuzz check bench chaos
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short smoke run of every fuzz target (header parsers); the committed
+# seed corpora also run as part of plain `go test`.
+fuzz:
+	$(GO) test -run=Fuzz -fuzz=FuzzParse4 -fuzztime=5s ./internal/inet
+	$(GO) test -run=Fuzz -fuzz=FuzzParse6 -fuzztime=5s ./internal/inet
+	$(GO) test -run=Fuzz -fuzz=FuzzParseHeader -fuzztime=5s ./internal/tcp
+	$(GO) test -run=Fuzz -fuzz=FuzzParse -fuzztime=5s ./internal/udp
+	$(GO) test -run=Fuzz -fuzz=FuzzVerify4 -fuzztime=5s ./internal/udp
+
+# The verification gate: static analysis, the full suite under the race
+# detector, and the plain suite (also exercises the fuzz seed corpora).
+check: vet race test
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+chaos:
+	$(GO) run ./cmd/qpipbench -exp chaos

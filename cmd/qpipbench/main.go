@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	qpipbench [-exp all|fig3|fig4|table1|table2|table3|fig7|ablations]
+//	qpipbench [-exp all|fig3|fig4|table1|table2|table3|fig7|chaos|ablations]
 //	          [-bytes N] [-nbd-bytes N] [-iters N] [-full]
 //
 // -full runs the paper's exact workload sizes (10 MB ttcp, 409 MB NBD);
@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig3, fig4, table1, table2, table3, fig7, ablations")
+	exp := flag.String("exp", "all", "experiment: all, fig3, fig4, table1, table2, table3, fig7, chaos, ablations")
 	bytes := flag.Int("bytes", 4<<20, "ttcp transfer size in bytes")
 	nbdBytes := flag.Int("nbd-bytes", 64<<20, "NBD benchmark size in bytes")
 	iters := flag.Int("iters", 50, "ping-pong iterations for latency experiments")
@@ -49,6 +49,7 @@ func main() {
 	run("table2", mark(func() { fmt.Print(bench.RenderTable2(bench.Table2(*iters))) }))
 	run("table3", mark(func() { fmt.Print(bench.RenderTable3(bench.Table3(*iters))) }))
 	run("fig7", mark(func() { fmt.Print(bench.RenderFigure7(bench.Figure7(*nbdBytes))) }))
+	run("chaos", mark(func() { fmt.Print(bench.RenderChaos(bench.Chaos(*bytes))) }))
 	run("ablations", mark(func() {
 		fmt.Print(bench.RenderAblation(bench.AblationChecksum(*bytes)))
 		fmt.Println()

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/params"
+	"repro/internal/qpipnic"
+)
+
+// ChaosSeed is the fixed fault-plan seed of the loss sweep; rerunning
+// `qpipbench -exp chaos` reproduces the identical fault sequence.
+const ChaosSeed = 0x51EE7
+
+// ChaosRow is one (stack, loss rate) cell of the sweep: delivered
+// throughput plus the retransmissions the stack spent earning it.
+type ChaosRow struct {
+	Stack   StackKind
+	DropPct float64 // injected per-frame drop probability, percent
+	MBps    float64
+	Retrans uint64
+	Drops   uint64 // frames the injector actually ate
+}
+
+// chaosDropRates are the swept per-frame drop probabilities (percent).
+var chaosDropRates = []float64{0, 0.1, 1, 5}
+
+// Chaos sweeps seeded frame loss over the QPIP and IP/GigE stacks running
+// the ttcp workload and reports throughput degradation alongside the
+// retransmission work the loss induced. The injector spares the first 16
+// frames so connection establishment isn't the thing being measured.
+func Chaos(totalBytes int) []ChaosRow {
+	var rows []ChaosRow
+	for _, pct := range chaosDropRates {
+		plan := fault.Plan{Seed: ChaosSeed, DropProb: pct / 100, SkipFirst: 16}
+
+		var inj *fault.Injector
+		var cl *core.Cluster
+		attach := func(c *core.Cluster) {
+			cl = c
+			inj = fault.NewInjector(plan)
+			if c.Myrinet != nil {
+				inj.Attach(c.Eng, c.Myrinet)
+			} else {
+				inj.Attach(c.Eng, c.Eth)
+			}
+		}
+
+		q := qpipTtcp(params.MTUQPIP, qpipnic.ChecksumEmulatedHW, totalBytes, nil, attach)
+		rows = append(rows, ChaosRow{
+			Stack: QPIP, DropPct: pct, MBps: q.MBps,
+			Retrans: cl.Nodes[0].QPIP.Net.Get("tx.retransmit"),
+			Drops:   inj.Stats().Drops,
+		})
+
+		g := sockTtcp(IPGigE, totalBytes, nil, attach)
+		rows = append(rows, ChaosRow{
+			Stack: IPGigE, DropPct: pct, MBps: g.MBps,
+			Retrans: cl.Nodes[0].Kernel.Net.Get("tx.retransmit"),
+			Drops:   inj.Stats().Drops,
+		})
+	}
+	return rows
+}
+
+// RenderChaos formats the loss sweep.
+func RenderChaos(rows []ChaosRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos loss sweep: ttcp under seeded frame loss (seed 0x%X)\n", ChaosSeed)
+	fmt.Fprintf(&b, "%-12s %8s %12s %12s %10s\n", "stack", "loss", "MB/s", "retransmits", "dropped")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %7.1f%% %12.1f %12d %10d\n",
+			r.Stack, r.DropPct, r.MBps, r.Retrans, r.Drops)
+	}
+	return b.String()
+}

@@ -29,12 +29,17 @@ const (
 // min(chunk, maxMessage), pipelined with a bounded number outstanding,
 // completions reaped with Wait (the utilization-measurement discipline —
 // a blocked ttcp burns no cycles).
-func qpipTtcp(mtu int, cs qpipnic.ChecksumMode, total int, tweak func(*core.NodeConfig)) TtcpMeasure {
+// prep hooks run against the built cluster before any traffic; the chaos
+// sweep uses one to attach a fault injector.
+func qpipTtcp(mtu int, cs qpipnic.ChecksumMode, total int, tweak func(*core.NodeConfig), prep ...func(*core.Cluster)) TtcpMeasure {
 	cfg := core.NodeConfig{QPIP: true, QPIPMTU: mtu, QPIPChecksum: cs}
 	if tweak != nil {
 		tweak(&cfg)
 	}
 	c := core.NewCluster(2, cfg)
+	for _, fn := range prep {
+		fn(c)
+	}
 	maxMsg := c.Nodes[0].QPIP.MaxMessage()
 	msgSize := TtcpChunk
 	if msgSize > maxMsg {
@@ -129,7 +134,7 @@ func qpipTtcp(mtu int, cs qpipnic.ChecksumMode, total int, tweak func(*core.Node
 }
 
 // sockTtcp runs ttcp over a host-stack cluster.
-func sockTtcp(kind StackKind, total int, tweak func(*core.NodeConfig)) TtcpMeasure {
+func sockTtcp(kind StackKind, total int, tweak func(*core.NodeConfig), prep ...func(*core.Cluster)) TtcpMeasure {
 	var cfg core.NodeConfig
 	if kind == IPGigE {
 		cfg = core.NodeConfig{GigE: true}
@@ -140,6 +145,9 @@ func sockTtcp(kind StackKind, total int, tweak func(*core.NodeConfig)) TtcpMeasu
 		tweak(&cfg)
 	}
 	c := core.NewCluster(2, cfg)
+	for _, fn := range prep {
+		fn(c)
+	}
 	var out TtcpMeasure
 	var start, end sim.Time
 	var sndBusy0, rcvBusy0 sim.Time

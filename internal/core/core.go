@@ -29,6 +29,9 @@ type NodeConfig struct {
 	// QPIPPipelinedTX / QPIPNoDelAck are ablation knobs.
 	QPIPPipelinedTX bool
 	QPIPNoDelAck    bool
+	// QPIPMaxQPs bounds the adapter's SRAM-resident QP/TCB table
+	// (default params.QPIPMaxQPs); CreateQP beyond it is refused.
+	QPIPMaxQPs int
 	// GigE attaches a Pro1000-class adapter running the host stack.
 	GigE bool
 	// GigEMTU is the Ethernet MTU (1500 default; 9000 jumbo).
@@ -143,6 +146,7 @@ func (c *Cluster) addNode(i int, cfg NodeConfig) *Node {
 			HostCPU:     node.CPU,
 			Bus:         node.Bus,
 			Routes:      c.Routes6,
+			MaxQPs:      cfg.QPIPMaxQPs,
 		})
 		c.Routes6.Add(node.Addr6, node.QPIP.Attachment())
 	}

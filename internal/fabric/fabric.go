@@ -29,6 +29,26 @@ type Frame struct {
 // Handler receives delivered frames at an attachment.
 type Handler func(*Frame)
 
+// FaultDecision is what the fault layer wants done with one frame. The
+// zero value passes the frame through untouched.
+type FaultDecision struct {
+	// Drop loses the frame in transit; the sender still pays
+	// serialization (the wire carried it to the point of loss).
+	Drop bool
+	// Replace, when non-nil, is delivered in place of the original frame
+	// (a corrupted in-transit copy; same wire size).
+	Replace *Frame
+	// ExtraDelay postpones delivery (switch queueing jitter).
+	ExtraDelay sim.Time
+	// Duplicate delivers the frame a second time, one serialization time
+	// after the first copy.
+	Duplicate bool
+}
+
+// FaultHook decides the fate of each sent frame. n counts frames ever
+// sent on this fabric.
+type FaultHook func(f *Frame, n uint64) FaultDecision
+
 type port struct {
 	up      *sim.Server // attachment -> switch
 	down    *sim.Server // switch -> attachment
@@ -59,11 +79,17 @@ type Fabric struct {
 	eng   *sim.Engine
 	cfg   Config
 	ports []*port
-	// Drop, when non-nil, discards frames for which it returns true —
-	// loss injection for tests. n counts frames ever sent.
+	// Fault, when non-nil, is consulted for every sent frame — the
+	// general fault-injection hook (see internal/fault for the seeded
+	// deterministic implementation).
+	Fault FaultHook
+	// Drop, when non-nil, discards frames for which it returns true.
+	// It predates Fault and survives as a thin adapter: a true return is
+	// folded into the FaultDecision as a plain drop.
 	Drop func(f *Frame, n uint64) bool
 
 	sent, delivered, dropped uint64
+	corrupted, duplicated    uint64
 	bytesSent                uint64
 }
 
@@ -102,6 +128,12 @@ func (f *Fabric) Stats() (sent, delivered, dropped uint64) {
 	return f.sent, f.delivered, f.dropped
 }
 
+// FaultStats reports (corrupted, duplicated) frame counts from the fault
+// hook's decisions.
+func (f *Fabric) FaultStats() (corrupted, duplicated uint64) {
+	return f.corrupted, f.duplicated
+}
+
 // Send injects a frame. onTxDone (may be nil) runs when the sender's link
 // transmitter finishes serializing — the moment a NIC's transmit engine is
 // free for the next frame. Delivery to the destination handler happens
@@ -118,12 +150,23 @@ func (f *Fabric) Send(frame *Frame, onTxDone func()) {
 	n := f.sent
 	f.sent++
 	f.bytesSent += uint64(netSize)
+	var fd FaultDecision
+	if f.Fault != nil {
+		fd = f.Fault(frame, n)
+	}
 	if f.Drop != nil && f.Drop(frame, n) {
+		fd.Drop = true
+	}
+	if fd.Drop {
 		// The wire still carries the frame to the point of loss; charge
 		// the sender's serialization but deliver nothing.
 		f.dropped++
 		f.ports[frame.Src].up.Do(f.serTime(netSize), "fabric.tx.dropped", onTxDone)
 		return
+	}
+	if fd.Replace != nil {
+		f.corrupted++
+		frame = fd.Replace
 	}
 	src, dst := f.ports[frame.Src], f.ports[frame.Dst]
 	ser := f.serTime(netSize)
@@ -135,20 +178,34 @@ func (f *Fabric) Send(frame *Frame, onTxDone func()) {
 			// Cut-through: the destination link streamed concurrently;
 			// the last byte arrives one hop latency + propagation after
 			// it left the source.
-			f.eng.After(f.cfg.HopLatency+f.cfg.PropDelay, "fabric.deliver", func() {
-				f.deliver(dst, frame)
-			})
+			send := func(extra sim.Time) {
+				f.eng.After(f.cfg.HopLatency+f.cfg.PropDelay+fd.ExtraDelay+extra, "fabric.deliver", func() {
+					f.deliver(dst, frame)
+				})
+			}
+			send(0)
+			if fd.Duplicate {
+				f.duplicated++
+				send(ser)
+			}
 			return
 		}
 		// Store-and-forward: the switch re-serializes onto the
 		// destination link (modeled with contention).
-		f.eng.After(f.cfg.HopLatency, "fabric.switch", func() {
-			dst.down.Do(ser, "fabric.fwd", func() {
-				f.eng.After(f.cfg.PropDelay, "fabric.deliver", func() {
-					f.deliver(dst, frame)
+		send := func() {
+			f.eng.After(f.cfg.HopLatency+fd.ExtraDelay, "fabric.switch", func() {
+				dst.down.Do(ser, "fabric.fwd", func() {
+					f.eng.After(f.cfg.PropDelay, "fabric.deliver", func() {
+						f.deliver(dst, frame)
+					})
 				})
 			})
-		})
+		}
+		send()
+		if fd.Duplicate {
+			f.duplicated++
+			send()
+		}
 	})
 }
 

@@ -141,6 +141,8 @@ func TestMyrinetUnlimitedMTU(t *testing.T) {
 	}
 }
 
+// TestDropInjection covers the legacy Drop adapter; the seeded fault layer
+// is exercised in fault_integration_test.go.
 func TestDropInjection(t *testing.T) {
 	eng := sim.NewEngine()
 	f := myrinet(eng)

@@ -1,0 +1,323 @@
+// Package fault is a deterministic, seeded fault-injection layer for the
+// simulated fabrics. A Plan describes what real networks do to frames —
+// loss (probabilistic or patterned), bit corruption, duplication, extra
+// delay/jitter, and scheduled link down/up flaps — and an Injector applies
+// it to a fabric.Fabric through the generalized fault hook.
+//
+// Determinism is the point: every per-frame decision is a pure function of
+// (Plan.Seed, frame ordinal), computed with a self-contained splitmix64
+// generator, so the same seed reproduces the identical fault sequence —
+// and, because the simulation engine is itself deterministic, the
+// identical end-to-end event trace. Chaos tests rely on this to assert the
+// DESIGN §8 invariants under randomized-but-reproducible adversity.
+//
+// Corruption defaults to single-bit flips. The Internet checksum is a
+// 16-bit ones'-complement sum, which provably detects any single-bit
+// error; multi-bit flips can cancel (the same bit position in two words),
+// so plans that need the "corrupted frames are never delivered" guarantee
+// keep CorruptBits at 1. Fields no checksum covers (the IPv6 hop limit)
+// may still pass through corrupted — as on real networks — without
+// affecting payload integrity.
+package fault
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/buf"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Flap is one scheduled link-down window: frames touching Port (as source
+// or destination attachment; -1 matches every port) during [From, To) are
+// lost. Two windows back to back model down/up/down cycling.
+type Flap struct {
+	Port     int
+	From, To sim.Time
+}
+
+// Plan is a seeded, deterministic description of the faults to inject.
+// The zero value injects nothing.
+type Plan struct {
+	// Seed drives every probabilistic decision. Two runs with the same
+	// plan produce the same per-frame decisions.
+	Seed uint64
+
+	// DropProb is the probability a frame is lost in transit.
+	DropProb float64
+	// DropEvery, when > 0, deterministically drops every DropEvery-th
+	// frame (ordinals n with (n+1)%DropEvery == 0), independent of Seed.
+	DropEvery uint64
+	// DropFrames lists explicit frame ordinals to drop (scripted loss).
+	DropFrames []uint64
+
+	// CorruptProb is the probability a frame's bytes are damaged in
+	// transit. The receiver's real checksums are what catch it.
+	CorruptProb float64
+	// CorruptBits is how many bit flips a corrupted frame suffers
+	// (default 1; see the package comment on checksum detectability).
+	CorruptBits int
+	// HeaderOnly restricts flips to the IP and transport headers, leaving
+	// (possibly virtual) payloads untouched.
+	HeaderOnly bool
+
+	// DupProb is the probability a delivered frame arrives twice.
+	DupProb float64
+
+	// DelayProb is the probability a frame suffers extra queueing delay,
+	// uniform in (0, MaxExtraDelay].
+	DelayProb     float64
+	MaxExtraDelay sim.Time
+
+	// SkipFirst exempts the first SkipFirst frames from probabilistic
+	// faults (handshake grace); patterned drops and flaps still apply.
+	SkipFirst uint64
+
+	// Flaps are scheduled link-down windows.
+	Flaps []Flap
+}
+
+// Decision is the fault outcome for one frame. The zero value passes the
+// frame through untouched.
+type Decision struct {
+	Drop    bool
+	Flapped bool // Drop caused by a link-down window
+	// CorruptBits are bit offsets (from the start of the corruptible
+	// region) to flip in a cloned copy of the frame.
+	CorruptBits []int
+	Duplicate   bool
+	ExtraDelay  sim.Time
+}
+
+// Event is one applied fault, recorded for trace comparison across runs.
+type Event struct {
+	N        uint64
+	At       sim.Time
+	Src, Dst int
+	Kind     string // "drop", "flap", "corrupt", "dup", "delay"
+	Arg      int64  // bit offset (corrupt) or ns (delay)
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("n=%d t=%d %d->%d %s(%d)", e.N, int64(e.At), e.Src, e.Dst, e.Kind, e.Arg)
+}
+
+// Stats counts applied faults by kind.
+type Stats struct {
+	Drops, FlapDrops, Corrupts, Dups, Delays uint64
+}
+
+// Injector applies a Plan to frames. It is attached to a fabric with
+// Attach, or driven directly through Decide by pure-protocol harnesses.
+type Injector struct {
+	plan  Plan
+	stats Stats
+	log   []Event
+}
+
+// NewInjector builds an injector for plan.
+func NewInjector(plan Plan) *Injector {
+	if plan.CorruptBits <= 0 {
+		plan.CorruptBits = 1
+	}
+	return &Injector{plan: plan}
+}
+
+// Plan returns the injector's plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Stats reports applied-fault counts.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// Events returns the applied-fault log in application order.
+func (in *Injector) Events() []Event { return in.log }
+
+// TraceString renders the fault log, one event per line — two runs of the
+// same seeded simulation must produce byte-identical trace strings.
+func (in *Injector) TraceString() string {
+	var b strings.Builder
+	for _, e := range in.log {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// splitmix64 advances a splitmix64 state and returns the next value.
+// Self-contained so fault sequences are stable across Go releases
+// (math/rand's stream is not part of its compatibility promise).
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// frameRNG derives an independent generator for frame n, so decisions do
+// not depend on the interleaving of frames across links.
+func frameRNG(seed, n uint64) uint64 {
+	s := seed ^ (n+1)*0x9e3779b97f4a7c15
+	splitmix64(&s)
+	return s
+}
+
+// roll returns a uniform float64 in [0, 1).
+func roll(s *uint64) float64 { return float64(splitmix64(s)>>11) / (1 << 53) }
+
+// intn returns a uniform int in [0, n).
+func intn(s *uint64, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(splitmix64(s) % uint64(n))
+}
+
+// flapped reports whether a frame touching src or dst at time now falls in
+// a down window.
+func (p *Plan) flapped(now sim.Time, src, dst int) bool {
+	for _, f := range p.Flaps {
+		if now < f.From || now >= f.To {
+			continue
+		}
+		if f.Port < 0 || f.Port == src || f.Port == dst {
+			return true
+		}
+	}
+	return false
+}
+
+// Decide computes the fault decision for frame ordinal n sent at time now
+// between attachments src and dst. corruptible is the number of bytes bit
+// flips may land in (0 disables corruption for this frame). Each decision
+// is logged; Decide must be called at most once per frame ordinal.
+func (in *Injector) Decide(n uint64, now sim.Time, src, dst int, corruptible int) Decision {
+	p := &in.plan
+	var d Decision
+	note := func(kind string, arg int64) {
+		in.log = append(in.log, Event{N: n, At: now, Src: src, Dst: dst, Kind: kind, Arg: arg})
+	}
+	// Scheduled and patterned faults fire regardless of SkipFirst.
+	if p.flapped(now, src, dst) {
+		d.Drop, d.Flapped = true, true
+		in.stats.FlapDrops++
+		note("flap", 0)
+		return d
+	}
+	if p.DropEvery > 0 && (n+1)%p.DropEvery == 0 {
+		d.Drop = true
+		in.stats.Drops++
+		note("drop", 0)
+		return d
+	}
+	for _, fn := range p.DropFrames {
+		if fn == n {
+			d.Drop = true
+			in.stats.Drops++
+			note("drop", 0)
+			return d
+		}
+	}
+	if n < p.SkipFirst {
+		return d
+	}
+	rng := frameRNG(p.Seed, n)
+	if p.DropProb > 0 && roll(&rng) < p.DropProb {
+		d.Drop = true
+		in.stats.Drops++
+		note("drop", 0)
+		return d
+	}
+	if p.CorruptProb > 0 && corruptible > 0 && roll(&rng) < p.CorruptProb {
+		for i := 0; i < p.CorruptBits; i++ {
+			bit := intn(&rng, corruptible*8)
+			d.CorruptBits = append(d.CorruptBits, bit)
+			in.stats.Corrupts++
+			note("corrupt", int64(bit))
+		}
+	}
+	if p.DupProb > 0 && roll(&rng) < p.DupProb {
+		d.Duplicate = true
+		in.stats.Dups++
+		note("dup", 0)
+	}
+	if p.DelayProb > 0 && p.MaxExtraDelay > 0 && roll(&rng) < p.DelayProb {
+		d.ExtraDelay = sim.Time(intn(&rng, int(p.MaxExtraDelay))) + 1
+		in.stats.Delays++
+		note("delay", int64(d.ExtraDelay))
+	}
+	return d
+}
+
+// Attach installs the injector as fab's fault hook. eng supplies the
+// current time for flap windows.
+func (in *Injector) Attach(eng *sim.Engine, fab *fabric.Fabric) {
+	fab.Fault = func(fr *fabric.Frame, n uint64) fabric.FaultDecision {
+		return in.Apply(fr, n, eng.Now())
+	}
+}
+
+// Apply converts a Decide outcome into the fabric-level decision,
+// materializing a corrupted clone of the frame when bits are flipped.
+func (in *Injector) Apply(fr *fabric.Frame, n uint64, now sim.Time) fabric.FaultDecision {
+	corruptible := 0
+	pkt, isPkt := fr.Payload.(*wire.Packet)
+	if isPkt {
+		if in.plan.HeaderOnly {
+			corruptible = len(pkt.IPHdr) + len(pkt.L4Hdr)
+		} else {
+			corruptible = pkt.Len()
+		}
+	}
+	d := in.Decide(n, now, fr.Src, fr.Dst, corruptible)
+	fd := fabric.FaultDecision{
+		Drop:       d.Drop,
+		Duplicate:  d.Duplicate,
+		ExtraDelay: d.ExtraDelay,
+	}
+	if len(d.CorruptBits) > 0 && isPkt {
+		clone := *fr
+		clone.Payload = corruptPacket(pkt, d.CorruptBits)
+		fd.Replace = &clone
+	}
+	return fd
+}
+
+// corruptPacket clones pkt and flips the given bits. Cloning matters: the
+// original packet's payload Buf is shared with the sender's retransmission
+// flight queue, and damaging it would corrupt the retransmission too —
+// the wire damages the copy in transit, not the sender's memory.
+func corruptPacket(pkt *wire.Packet, bits []int) *wire.Packet {
+	clone := &wire.Packet{
+		IsV4:    pkt.IsV4,
+		IPHdr:   append([]byte(nil), pkt.IPHdr...),
+		L4Hdr:   append([]byte(nil), pkt.L4Hdr...),
+		Payload: pkt.Payload,
+	}
+	var pay []byte
+	ipLen, l4Len := len(clone.IPHdr), len(clone.L4Hdr)
+	for _, bit := range bits {
+		idx, mask := bit/8, byte(1)<<(bit%8)
+		switch {
+		case idx < ipLen:
+			clone.IPHdr[idx] ^= mask
+		case idx < ipLen+l4Len:
+			clone.L4Hdr[idx-ipLen] ^= mask
+		default:
+			off := idx - ipLen - l4Len
+			if off >= pkt.Payload.Len() {
+				continue
+			}
+			if pay == nil {
+				pay = append([]byte(nil), pkt.Payload.Data()...)
+			}
+			pay[off] ^= mask
+		}
+	}
+	if pay != nil {
+		clone.Payload = buf.Bytes(pay)
+	}
+	return clone
+}

@@ -1,0 +1,241 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/buf"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// TestDeterminism: two injectors built from the same plan must make
+// byte-identical decision sequences — the property every chaos test's
+// "same seed, same trace" assertion stands on.
+func TestDeterminism(t *testing.T) {
+	plan := Plan{
+		Seed:          42,
+		DropProb:      0.1,
+		CorruptProb:   0.1,
+		DupProb:       0.05,
+		DelayProb:     0.2,
+		MaxExtraDelay: 1000,
+	}
+	a, b := NewInjector(plan), NewInjector(plan)
+	for n := uint64(0); n < 5000; n++ {
+		da := a.Decide(n, sim.Time(n*10), 0, 1, 100)
+		db := b.Decide(n, sim.Time(n*10), 0, 1, 100)
+		if da.Drop != db.Drop || da.Duplicate != db.Duplicate ||
+			da.ExtraDelay != db.ExtraDelay || len(da.CorruptBits) != len(db.CorruptBits) {
+			t.Fatalf("frame %d: decisions diverge: %+v vs %+v", n, da, db)
+		}
+	}
+	if a.TraceString() != b.TraceString() {
+		t.Fatal("fault traces diverge for identical plans")
+	}
+	if a.TraceString() == "" {
+		t.Fatal("plan with faults produced an empty trace")
+	}
+}
+
+// TestInterleavingIndependence: the decision for frame ordinal n must not
+// depend on which ordinals were decided before it (frames on different
+// links interleave nondeterministically relative to each other).
+func TestInterleavingIndependence(t *testing.T) {
+	plan := Plan{Seed: 7, DropProb: 0.3, DupProb: 0.3}
+	a, b := NewInjector(plan), NewInjector(plan)
+	// a sees 0..99 in order; b sees only the even ordinals.
+	var aDec, bDec []Decision
+	for n := uint64(0); n < 100; n++ {
+		aDec = append(aDec, a.Decide(n, 0, 0, 1, 0))
+	}
+	for n := uint64(0); n < 100; n += 2 {
+		bDec = append(bDec, b.Decide(n, 0, 0, 1, 0))
+	}
+	for i, d := range bDec {
+		ref := aDec[2*i]
+		if d.Drop != ref.Drop || d.Duplicate != ref.Duplicate || d.ExtraDelay != ref.ExtraDelay {
+			t.Fatalf("frame %d: decision depends on call history: %+v vs %+v", 2*i, d, ref)
+		}
+	}
+}
+
+func TestPatternedDrops(t *testing.T) {
+	in := NewInjector(Plan{DropEvery: 10, DropFrames: []uint64{3}})
+	var dropped []uint64
+	for n := uint64(0); n < 30; n++ {
+		if in.Decide(n, 0, 0, 1, 0).Drop {
+			dropped = append(dropped, n)
+		}
+	}
+	want := []uint64{3, 9, 19, 29}
+	if len(dropped) != len(want) {
+		t.Fatalf("dropped %v, want %v", dropped, want)
+	}
+	for i := range want {
+		if dropped[i] != want[i] {
+			t.Fatalf("dropped %v, want %v", dropped, want)
+		}
+	}
+	if in.Stats().Drops != 4 {
+		t.Fatalf("Drops = %d, want 4", in.Stats().Drops)
+	}
+}
+
+func TestFlapWindows(t *testing.T) {
+	in := NewInjector(Plan{Flaps: []Flap{
+		{Port: 2, From: 100, To: 200},
+		{Port: -1, From: 500, To: 600},
+	}})
+	cases := []struct {
+		now      sim.Time
+		src, dst int
+		want     bool
+	}{
+		{50, 2, 3, false},  // before window
+		{100, 2, 3, true},  // src matches, inclusive start
+		{150, 0, 2, true},  // dst matches
+		{150, 0, 1, false}, // port 2 window, other ports fine
+		{200, 2, 3, false}, // exclusive end
+		{550, 7, 8, true},  // -1 matches everything
+	}
+	for i, c := range cases {
+		d := in.Decide(uint64(i), c.now, c.src, c.dst, 0)
+		if d.Drop != c.want || d.Flapped != c.want {
+			t.Errorf("case %d (t=%d %d->%d): Drop=%v Flapped=%v, want %v",
+				i, c.now, c.src, c.dst, d.Drop, d.Flapped, c.want)
+		}
+	}
+	if in.Stats().FlapDrops != 3 {
+		t.Fatalf("FlapDrops = %d, want 3", in.Stats().FlapDrops)
+	}
+}
+
+// TestSkipFirst: probabilistic faults spare the first SkipFirst frames
+// (handshake grace) but patterned drops still fire.
+func TestSkipFirst(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, DropProb: 1.0, SkipFirst: 10, DropEvery: 4})
+	for n := uint64(0); n < 10; n++ {
+		d := in.Decide(n, 0, 0, 1, 0)
+		patterned := (n+1)%4 == 0
+		if d.Drop != patterned {
+			t.Fatalf("frame %d: Drop=%v, want %v (patterned only)", n, d.Drop, patterned)
+		}
+	}
+	if !in.Decide(10, 0, 0, 1, 0).Drop {
+		t.Fatal("frame 10: DropProb=1 must drop past SkipFirst")
+	}
+}
+
+// TestDropRate sanity-checks the probabilistic drop frequency.
+func TestDropRate(t *testing.T) {
+	in := NewInjector(Plan{Seed: 99, DropProb: 0.25})
+	const frames = 20000
+	for n := uint64(0); n < frames; n++ {
+		in.Decide(n, 0, 0, 1, 0)
+	}
+	got := float64(in.Stats().Drops) / frames
+	if got < 0.22 || got > 0.28 {
+		t.Fatalf("drop rate %.4f, want ~0.25", got)
+	}
+}
+
+func testPacket() *wire.Packet {
+	ip := make([]byte, 40)
+	l4 := make([]byte, 20)
+	for i := range ip {
+		ip[i] = byte(i)
+	}
+	for i := range l4 {
+		l4[i] = byte(0x40 + i)
+	}
+	return &wire.Packet{IPHdr: ip, L4Hdr: l4, Payload: buf.Pattern(64, 3)}
+}
+
+// TestCorruptionClones: Apply must damage a clone of the frame, never the
+// original — the sender's retransmission queue shares the payload Buf.
+func TestCorruptionClones(t *testing.T) {
+	in := NewInjector(Plan{Seed: 5, CorruptProb: 1.0})
+	pkt := testPacket()
+	origIP := append([]byte(nil), pkt.IPHdr...)
+	origL4 := append([]byte(nil), pkt.L4Hdr...)
+	origPay := append([]byte(nil), pkt.Payload.Data()...)
+	fr := &fabric.Frame{Src: 0, Dst: 1, WireSize: pkt.Len(), Payload: pkt}
+
+	fd := in.Apply(fr, 0, 0)
+	if fd.Replace == nil {
+		t.Fatal("CorruptProb=1 produced no replacement frame")
+	}
+	cpkt := fd.Replace.Payload.(*wire.Packet)
+	diff := 0
+	for i := range origIP {
+		if cpkt.IPHdr[i] != origIP[i] {
+			diff++
+		}
+	}
+	for i := range origL4 {
+		if cpkt.L4Hdr[i] != origL4[i] {
+			diff++
+		}
+	}
+	cpay := cpkt.Payload.Data()
+	for i := range origPay {
+		if cpay[i] != origPay[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("corrupted clone is identical to the original")
+	}
+	// Original untouched.
+	for i := range origIP {
+		if pkt.IPHdr[i] != origIP[i] {
+			t.Fatal("corruption mutated the original IP header")
+		}
+	}
+	for i := range origL4 {
+		if pkt.L4Hdr[i] != origL4[i] {
+			t.Fatal("corruption mutated the original L4 header")
+		}
+	}
+	pay := pkt.Payload.Data()
+	for i := range origPay {
+		if pay[i] != origPay[i] {
+			t.Fatal("corruption mutated the original payload")
+		}
+	}
+}
+
+// TestHeaderOnlyCorruption: with HeaderOnly set, payload bytes never flip.
+func TestHeaderOnlyCorruption(t *testing.T) {
+	in := NewInjector(Plan{Seed: 8, CorruptProb: 1.0, CorruptBits: 4, HeaderOnly: true})
+	for n := uint64(0); n < 50; n++ {
+		pkt := testPacket()
+		orig := append([]byte(nil), pkt.Payload.Data()...)
+		fr := &fabric.Frame{Src: 0, Dst: 1, WireSize: pkt.Len(), Payload: pkt}
+		fd := in.Apply(fr, n, 0)
+		if fd.Replace == nil {
+			t.Fatalf("frame %d: no corruption applied", n)
+		}
+		got := fd.Replace.Payload.(*wire.Packet).Payload.Data()
+		for i := range orig {
+			if got[i] != orig[i] {
+				t.Fatalf("frame %d: HeaderOnly plan flipped payload byte %d", n, i)
+			}
+		}
+	}
+}
+
+// TestZeroPlanPassthrough: the zero plan touches nothing.
+func TestZeroPlanPassthrough(t *testing.T) {
+	in := NewInjector(Plan{})
+	for n := uint64(0); n < 1000; n++ {
+		d := in.Decide(n, sim.Time(n), 0, 1, 100)
+		if d.Drop || d.Duplicate || d.ExtraDelay != 0 || len(d.CorruptBits) != 0 {
+			t.Fatalf("frame %d: zero plan injected a fault: %+v", n, d)
+		}
+	}
+	if len(in.Events()) != 0 {
+		t.Fatalf("zero plan logged %d events", len(in.Events()))
+	}
+}

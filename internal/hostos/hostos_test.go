@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/buf"
 	"repro/internal/fabric"
+	"repro/internal/fault"
 	"repro/internal/gige"
 	"repro/internal/gm"
 	"repro/internal/hostos"
@@ -397,7 +398,8 @@ func TestRetransmissionRecoversOnLossyFabric(t *testing.T) {
 		HopLatency:   params.GigESwitchLatency,
 		PropDelay:    params.CableLatency,
 	})
-	fab.Drop = func(f *fabric.Frame, n uint64) bool { return n%50 == 49 }
+	inj := fault.NewInjector(fault.Plan{DropEvery: 50})
+	inj.Attach(eng, fab)
 	var kernels [2]*hostos.Kernel
 	var devs [2]*gige.Device
 	for i := 0; i < 2; i++ {

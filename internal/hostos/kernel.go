@@ -17,6 +17,7 @@ import (
 	"repro/internal/params"
 	"repro/internal/sim"
 	"repro/internal/tcp"
+	"repro/internal/trace"
 	"repro/internal/udp"
 	"repro/internal/wire"
 )
@@ -71,6 +72,10 @@ type Kernel struct {
 	issCount  uint32
 	ipID      uint16
 
+	// Net counts fault-visible events (rx.corrupt, tx.retransmit,
+	// conn.retry-exceeded, ...) with the same names the QPIP NIC uses,
+	// so the chaos benches report both stacks uniformly.
+	Net   *trace.Counters
 	stats Stats
 }
 
@@ -97,6 +102,7 @@ func NewKernel(eng *sim.Engine, name string, addr inet.Addr4, cpu *sim.CPU, bus 
 		listeners: make(map[uint16]*Socket),
 		udpPorts:  udp.NewPortSpace[*Socket](),
 		nextPort:  32768,
+		Net:       trace.NewCounters(),
 	}
 }
 
@@ -255,6 +261,7 @@ func (k *Kernel) inputPacket(pkt *wire.Packet) {
 	ip4, err := inet.Parse4(pkt.IPHdr)
 	if err != nil {
 		k.stats.ChecksumErrors++
+		k.Net.Add("rx.corrupt", 1)
 		return
 	}
 	switch ip4.Protocol {
@@ -271,6 +278,7 @@ func (k *Kernel) inputTCP(ip4 *inet.Header4, pkt *wire.Packet) {
 	seg, _, err := tcp.ParseHeader(pkt.L4Hdr)
 	if err != nil {
 		k.stats.ChecksumErrors++
+		k.Net.Add("rx.corrupt", 1)
 		return
 	}
 	seg.Payload = pkt.Payload
@@ -290,6 +298,7 @@ func (k *Kernel) inputTCP(ip4 *inet.Header4, pkt *wire.Packet) {
 		sum = inet.SumBuf(sum, pkt.Payload)
 		if inet.Fold(sum) != 0xffff {
 			k.stats.ChecksumErrors++
+			k.Net.Add("rx.corrupt", 1)
 			return
 		}
 		key := tcpKey{seg.DstPort, ip4.Src, seg.SrcPort}
@@ -312,12 +321,14 @@ func (k *Kernel) inputUDP(ip4 *inet.Header4, pkt *wire.Packet) {
 	h, plen, err := udp.Parse(pkt.L4Hdr)
 	if err != nil || plen != pkt.Payload.Len() {
 		k.stats.ChecksumErrors++
+		k.Net.Add("rx.corrupt", 1)
 		return
 	}
 	verify := perByte(params.HostChecksumCyclesPerByte, len(pkt.L4Hdr)+pkt.Payload.Len())
 	k.charge(verify+params.US(params.HostUDPInputUS+params.HostSkbUS), "udp_input", func() {
 		if udp.Verify4(ip4.Src, ip4.Dst, pkt.L4Hdr, pkt.Payload) != nil {
 			k.stats.ChecksumErrors++
+			k.Net.Add("rx.corrupt", 1)
 			return
 		}
 		s, ok := k.udpPorts.Lookup(h.DstPort)
@@ -363,16 +374,18 @@ func (k *Kernel) acceptSYN(seg *tcp.Segment, ip4 *inet.Header4) {
 func (k *Kernel) connConfig(local, remote uint16, mtu int, noDelay bool) tcp.Config {
 	k.issCount += 64000
 	return tcp.Config{
-		LocalPort:   local,
-		RemotePort:  remote,
-		Mode:        tcp.Stream,
-		MSS:         mtu - inet.IPv4HeaderLen - tcp.BaseHeaderLen - tcp.TimestampOptLen,
-		RecvWindow:  defaultRcvBuf,
-		WindowScale: true,
-		Timestamps:  true,
-		DelayedAck:  true,
-		NoDelay:     noDelay,
-		ISS:         tcp.Seq(k.issCount),
+		LocalPort:     local,
+		RemotePort:    remote,
+		Mode:          tcp.Stream,
+		MSS:           mtu - inet.IPv4HeaderLen - tcp.BaseHeaderLen - tcp.TimestampOptLen,
+		RecvWindow:    defaultRcvBuf,
+		WindowScale:   true,
+		Timestamps:    true,
+		DelayedAck:    true,
+		NoDelay:       noDelay,
+		ISS:           tcp.Seq(k.issCount),
+		MaxRetries:    params.TCPMaxRetries,
+		SynMaxRetries: params.TCPSynMaxRetries,
 	}
 }
 
@@ -395,6 +408,10 @@ func (k *Kernel) applyActions(s *Socket, acts tcp.Actions) {
 	}
 	if acts.Reset {
 		s.onReset()
+	}
+	if acts.RetryExceeded {
+		k.Net.Add("conn.retry-exceeded", 1)
+		s.onRetryExceeded()
 	}
 	if acts.Closed {
 		s.onClosed()
@@ -427,6 +444,7 @@ func (k *Kernel) syncTimer(s *Socket) {
 			acts := s.conn.OnTimer(now)
 			if len(acts.Segments) > 0 {
 				k.stats.Retransmits += uint64(len(acts.Segments))
+				k.Net.Add("tx.retransmit", uint64(len(acts.Segments)))
 			}
 			k.applyActions(s, acts)
 		})

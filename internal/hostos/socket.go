@@ -30,6 +30,7 @@ const (
 var (
 	ErrConnClosed   = errors.New("hostos: connection closed")
 	ErrConnReset    = errors.New("hostos: connection reset by peer")
+	ErrTimedOut     = errors.New("hostos: connection timed out")
 	ErrNotConnected = errors.New("hostos: socket not connected")
 	ErrInUse        = errors.New("hostos: address in use")
 )
@@ -77,7 +78,17 @@ type Socket struct {
 	established bool
 	peerClosed  bool
 	reset       bool
+	timedOut    bool
 	closed      bool
+}
+
+// connErr distinguishes a retry-budget timeout (ETIMEDOUT) from a peer
+// reset (ECONNRESET) when a dead connection is touched.
+func (s *Socket) connErr() error {
+	if s.timedOut {
+		return ErrTimedOut
+	}
+	return ErrConnReset
 }
 
 func newSocket(k *Kernel, proto SockProto) *Socket {
@@ -135,12 +146,12 @@ func (s *Socket) Connect(p *sim.Proc, raddr inet.Addr4, rport uint16) error {
 		return err
 	}
 	s.k.applyActions(s, acts)
-	for !s.established && !s.reset && !s.closed {
+	for !s.established && !s.reset && !s.timedOut && !s.closed {
 		s.estWaiter = p
 		p.Suspend()
 	}
 	if !s.established {
-		return ErrConnReset
+		return s.connErr()
 	}
 	return nil
 }
@@ -186,14 +197,14 @@ func (s *Socket) Send(p *sim.Proc, b buf.Buf) error {
 	s.k.stats.BytesCopiedIn += uint64(b.Len())
 	// Block while the socket buffer (unacked + unsent) is full.
 	for s.conn.PendingSend()+s.conn.InFlight()+b.Len() > s.sndBufCap {
-		if s.reset || s.closed {
-			return ErrConnReset
+		if s.reset || s.timedOut || s.closed {
+			return s.connErr()
 		}
 		s.sndWaiter = p
 		p.Suspend()
 	}
-	if s.reset {
-		return ErrConnReset
+	if s.reset || s.timedOut {
+		return s.connErr()
 	}
 	now := int64(s.k.eng.Now())
 	acts, err := s.conn.Send(b, now)
@@ -212,8 +223,8 @@ func (s *Socket) Recv(p *sim.Proc, max int) (buf.Buf, error) {
 	}
 	s.syscall(p)
 	for s.recvQBytes == 0 {
-		if s.reset {
-			return buf.Empty, ErrConnReset
+		if s.reset || s.timedOut {
+			return buf.Empty, s.connErr()
 		}
 		if s.peerClosed || s.closed {
 			return buf.Empty, ErrConnClosed // EOF
@@ -397,6 +408,13 @@ func (s *Socket) onPeerClosed() {
 
 func (s *Socket) onReset() {
 	s.reset = true
+	s.wakeAll()
+}
+
+// onRetryExceeded fires when the TCB gave up retransmitting: the peer is
+// unreachable, not refusing. Blocked callers fail with ErrTimedOut.
+func (s *Socket) onRetryExceeded() {
+	s.timedOut = true
 	s.wakeAll()
 }
 

@@ -214,6 +214,26 @@ const (
 	NBDQueueDepth = 8
 )
 
+// Robustness knobs: retry budgets and adapter state-table capacity.
+const (
+	// TCPMaxRetries bounds consecutive retransmission timeouts of one
+	// segment before the connection is declared dead (BSD's
+	// TCP_MAXRXTSHIFT, which the prototype's Stevens & Wright-derived
+	// stack inherited). With exponential backoff from a 200 ms floor this
+	// is on the order of minutes of simulated persistence.
+	TCPMaxRetries = 12
+	// TCPSynMaxRetries bounds handshake (SYN / SYN|ACK) retransmissions —
+	// the connect-timeout budget. Backoff doubles from the 3 s initial
+	// RTO, so the budget caps a failed active open at
+	// 3 * (2^(TCPSynMaxRetries+1) - 1) seconds of simulated time.
+	TCPSynMaxRetries = 5
+	// QPIPMaxQPs bounds adapter-resident connection state: the LANai's
+	// 2 MB SRAM holds the firmware working set plus per-QP TCBs (a few KB
+	// each), so the state table is a hard, exhaustible resource. QP
+	// creation beyond it is refused (verbs.ErrNoResources).
+	QPIPMaxQPs = 512
+)
+
 // MTUs (paper §4.2.1).
 const (
 	MTUEthernet = 1500

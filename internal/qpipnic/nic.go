@@ -75,6 +75,10 @@ type Config struct {
 	// Routes resolves IPv6 addresses to fabric attachments (the
 	// prototype's static address resolution table, §4.1).
 	Routes *inet.Table6
+	// MaxQPs bounds adapter-resident QP/TCB state (SRAM is finite);
+	// 0 means params.QPIPMaxQPs. CreateQP beyond it is refused with
+	// verbs.ErrNoResources — graceful degradation, not a hang.
+	MaxQPs int
 }
 
 // tcpKey demultiplexes established connections.
@@ -151,7 +155,10 @@ type NIC struct {
 
 	// Per-stage occupancy, split by the four table columns.
 	TxData, TxAck, RxData, RxAck *trace.Stages
-	stats                        Stats
+	// Net counts fault-visible events (rx.corrupt, tx.retransmit,
+	// conn.retry-exceeded, ...) for the chaos benches.
+	Net   *trace.Counters
+	stats Stats
 }
 
 // New builds an adapter and attaches it to fab.
@@ -175,6 +182,7 @@ func New(eng *sim.Engine, fab *fabric.Fabric, cfg Config) *NIC {
 		TxAck:     trace.NewStages(),
 		RxData:    trace.NewStages(),
 		RxAck:     trace.NewStages(),
+		Net:       trace.NewCounters(),
 	}
 	n.att = fab.Attach(n.receiveFrame)
 	n.db.OnRing = n.onDoorbell
@@ -222,10 +230,23 @@ func (n *NIC) MaxMessage() int {
 	return n.cfg.MTU - inet.IPv6HeaderLen - tcp.BaseHeaderLen - tcp.TimestampOptLen
 }
 
-// CreateQP implements verbs.Device.
+// maxQPs reports the adapter's QP/TCB state-table capacity.
+func (n *NIC) maxQPs() int {
+	if n.cfg.MaxQPs > 0 {
+		return n.cfg.MaxQPs
+	}
+	return params.QPIPMaxQPs
+}
+
+// CreateQP implements verbs.Device. The state table lives in finite
+// adapter SRAM; exhaustion refuses the QP instead of overcommitting.
 func (n *NIC) CreateQP(qp *verbs.QP) error {
-	n.qps[qp.QPN] = &qpState{qp: qp}
 	n.mgmtCost()
+	if len(n.qps) >= n.maxQPs() {
+		n.Net.Add("mgmt.qp-refused", 1)
+		return verbs.ErrNoResources
+	}
+	n.qps[qp.QPN] = &qpState{qp: qp}
 	return nil
 }
 
@@ -299,6 +320,8 @@ func (n *NIC) connConfig(local, remote uint16) tcp.Config {
 		DelayedAck:    !n.cfg.NoDelAck,
 		NoDelay:       true,
 		ISS:           tcp.Seq(n.issCount),
+		MaxRetries:    params.TCPMaxRetries,
+		SynMaxRetries: params.TCPSynMaxRetries,
 	}
 }
 
@@ -382,5 +405,30 @@ func (n *NIC) mgmtCost() {
 func (n *NIC) notifyHost(fn func()) {
 	n.cfg.Bus.DMA(32, "event", func() {
 		n.cfg.HostCPU.Do(params.US(params.HostIRQUS), "qpip.isr", fn)
+	})
+}
+
+// failQP tears down a QP after a terminal connection failure: the TCB is
+// unlinked, the timer cancelled, and — asynchronously, through the host
+// notification path — every outstanding WR completes exactly once with
+// status. That includes send WRs the firmware already consumed
+// (qs.sendIDs, in flight or queued in the TCB) which a plain Flush would
+// leak, violating the DESIGN §8 completion invariant.
+func (n *NIC) failQP(qs *qpState, err error, status verbs.Status) {
+	if qs.conn != nil {
+		delete(n.tcpConns, tcpKey{qs.localPort, qs.remoteAddr, qs.remotePort})
+	}
+	if qs.timer != nil {
+		qs.timer.Cancel()
+		qs.timer = nil
+	}
+	ids := qs.sendIDs
+	qs.sendIDs = nil
+	qs.stash = nil
+	n.notifyHost(func() {
+		for _, id := range ids {
+			qs.qp.CompleteSend(id, status, 0)
+		}
+		qs.qp.SetFailed(err, status)
 	})
 }

@@ -26,6 +26,7 @@ func (n *NIC) receiveFrame(f *fabric.Frame) {
 	ip6, err := inet.Parse6(pkt.IPHdr)
 	if err != nil {
 		n.stats.ChecksumErrors++
+		n.Net.Add("rx.corrupt", 1)
 		return
 	}
 	l4len := len(pkt.L4Hdr) + pkt.Payload.Len()
@@ -46,6 +47,7 @@ func (n *NIC) receiveFrame(f *fabric.Frame) {
 			n.receiveUDP(&ip6, pkt)
 		default:
 			n.stats.NoPortDrops++
+			n.Net.Add("rx.drop.no-port", 1)
 		}
 	})
 }
@@ -65,6 +67,7 @@ func (n *NIC) receiveTCP(ip6 *inet.Header6, pkt *wire.Packet) {
 	seg, _, err := tcp.ParseHeader(pkt.L4Hdr)
 	if err != nil {
 		n.stats.ChecksumErrors++
+		n.Net.Add("rx.corrupt", 1)
 		return
 	}
 	seg.Payload = pkt.Payload
@@ -79,6 +82,7 @@ func (n *NIC) receiveTCP(ip6 *inet.Header6, pkt *wire.Packet) {
 	chain([]step{n.cpuStage(set, "TCP Parse", cost)}, func() {
 		if !n.verifyTransport(ip6, pkt) {
 			n.stats.ChecksumErrors++
+			n.Net.Add("rx.corrupt", 1)
 			return
 		}
 		key := tcpKey{seg.DstPort, ip6.Src, seg.SrcPort}
@@ -92,6 +96,7 @@ func (n *NIC) receiveTCP(ip6 *inet.Header6, pkt *wire.Packet) {
 				return
 			}
 			n.stats.NoPortDrops++
+			n.Net.Add("rx.drop.no-port", 1)
 			return
 		}
 		now := int64(n.eng.Now())
@@ -105,18 +110,26 @@ func (n *NIC) receiveTCP(ip6 *inet.Header6, pkt *wire.Packet) {
 func (n *NIC) acceptSYN(seg *tcp.Segment, ip6 *inet.Header6) {
 	l := n.listeners[seg.DstPort]
 	if l == nil {
+		// Nothing listens here: refuse explicitly with an RST so the
+		// client fails fast (ErrConnRefused) instead of burning its SYN
+		// retry budget against a silent drop.
 		n.stats.NoPortDrops++
+		n.Net.Add("conn.refused", 1)
+		n.sendRST(seg, ip6.Src)
 		return
 	}
 	att, err := n.cfg.Routes.Lookup(ip6.Src)
 	if err != nil {
 		n.stats.NoRouteDrops++
+		n.Net.Add("rx.drop.no-route", 1)
 		return
 	}
 	qp, ok := l.TakeIdle()
 	if !ok {
-		// No idle QP parked: drop; the client's SYN retransmit retries.
+		// No idle QP parked: drop; the client's SYN retransmit retries —
+		// a later Listener.Post may still mate the connection.
 		n.stats.NoPortDrops++
+		n.Net.Add("accept.no-idle-qp", 1)
 		return
 	}
 	qs := n.qps[qp.QPN]
@@ -135,28 +148,51 @@ func (n *NIC) acceptSYN(seg *tcp.Segment, ip6 *inet.Header6) {
 	n.handleActionsChain(qs, acts, nil)
 }
 
+// sendRST emits a connection-refusal RST in response to seg from src.
+// There is no TCB for this exchange; a transient endpoint record carries
+// the routing fields the transmit path needs.
+func (n *NIC) sendRST(seg *tcp.Segment, src inet.Addr6) {
+	att, err := n.cfg.Routes.Lookup(src)
+	if err != nil {
+		return
+	}
+	rst := &tcp.Segment{
+		SrcPort: seg.DstPort,
+		DstPort: seg.SrcPort,
+		Flags:   tcp.RST | tcp.ACK,
+		Ack:     seg.Seq.Add(1),
+		WScale:  -1,
+	}
+	tmp := &qpState{localPort: seg.DstPort, remoteAddr: src, remotePort: seg.SrcPort, remoteAtt: att}
+	n.enqueueTx(txWork{qs: tmp, seg: rst})
+}
+
 // receiveUDP parses and delivers one datagram. Datagrams arriving with no
 // posted receive WR are dropped — UDP QPs are unreliable by contract.
 func (n *NIC) receiveUDP(ip6 *inet.Header6, pkt *wire.Packet) {
 	h, plen, err := udp.Parse(pkt.L4Hdr)
 	if err != nil || plen != pkt.Payload.Len() {
 		n.stats.ChecksumErrors++
+		n.Net.Add("rx.corrupt", 1)
 		return
 	}
 	n.stats.UDPRecvs++
 	chain([]step{n.cpuStage(n.RxData, "UDP Parse", params.RxUDPParseUS)}, func() {
 		if udp.Verify6(ip6.Src, ip6.Dst, pkt.L4Hdr, pkt.Payload) != nil {
 			n.stats.ChecksumErrors++
+			n.Net.Add("rx.corrupt", 1)
 			return
 		}
 		qs, ok := n.udpPorts.Lookup(h.DstPort)
 		if !ok {
 			n.stats.NoPortDrops++
+			n.Net.Add("rx.drop.no-port", 1)
 			return
 		}
 		wr, ok := qs.qp.TakeRecvWR()
 		if !ok {
 			n.stats.NoWRDrops++
+			n.Net.Add("rx.drop.no-wr", 1)
 			return
 		}
 		n.placeRecord(qs, wr, pkt.Payload, ip6.Src, h.SrcPort, nil)

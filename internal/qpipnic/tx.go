@@ -331,7 +331,18 @@ func (n *NIC) handleActionsChain(qs *qpState, acts tcp.Actions, done func()) {
 	}
 	if acts.Reset {
 		steps = append(steps, func(next func()) {
-			n.notifyHost(func() { qs.qp.SetError(verbs.ErrConnRefused) })
+			n.Net.Add("conn.reset", 1)
+			n.failQP(qs, verbs.ErrConnRefused, verbs.StatusRemoteError)
+			next()
+		})
+	}
+	if acts.RetryExceeded {
+		// The retry budget is spent: the QP transitions to the error
+		// state and outstanding WRs flush asynchronously with
+		// StatusRetryExceeded (tentpole behaviour, DESIGN §8).
+		steps = append(steps, func(next func()) {
+			n.Net.Add("conn.retry-exceeded", 1)
+			n.failQP(qs, verbs.ErrRetryExceeded, verbs.StatusRetryExceeded)
 			next()
 		})
 	}
@@ -451,6 +462,7 @@ func (n *NIC) syncTimer(qs *qpState) {
 			// (delayed acks, window probes).
 			if seg.Payload.Len() > 0 || seg.Flags.Has(tcp.SYN) || seg.Flags.Has(tcp.FIN) {
 				n.stats.Retransmissions++
+				n.Net.Add("tx.retransmit", 1)
 			}
 		}
 		n.handleActions(qs, acts, nil)

@@ -82,6 +82,14 @@ type Config struct {
 	NoDelay bool
 	// TimeWaitDur overrides the 2*MSL TIME_WAIT duration (default 60 s).
 	TimeWaitDur int64
+	// MaxRetries bounds consecutive retransmission timeouts of one
+	// segment before the connection gives up with Actions.RetryExceeded
+	// (default 12, BSD's TCP_MAXRXTSHIFT).
+	MaxRetries int
+	// SynMaxRetries bounds handshake (SYN / SYN|ACK) retransmissions —
+	// the connect-timeout budget (default 5). With exponential backoff
+	// from the 3 s initial RTO the budget caps a failed active open.
+	SynMaxRetries int
 	// ISS fixes the initial send sequence number (deterministic tests).
 	ISS Seq
 }
@@ -103,6 +111,12 @@ func (c *Config) withDefaults() Config {
 	if out.TimeWaitDur <= 0 {
 		out.TimeWaitDur = 60 * 1000 * 1000 * 1000
 	}
+	if out.MaxRetries <= 0 {
+		out.MaxRetries = 12
+	}
+	if out.SynMaxRetries <= 0 {
+		out.SynMaxRetries = 5
+	}
 	return out
 }
 
@@ -121,6 +135,7 @@ type Stats struct {
 	FastPathData            uint64
 	FastPathAck             uint64
 	SlowPath                uint64
+	RetryExceeded           uint64
 	OutOfOrderDrops         uint64
 	BadSegments             uint64
 	WindowUpdatesOut        uint64
@@ -153,6 +168,10 @@ type Actions struct {
 	Closed bool
 	// Reset fires when the connection is torn down by an RST.
 	Reset bool
+	// RetryExceeded fires when the retransmission retry budget is
+	// exhausted (the peer is unreachable); the connection is closed.
+	// Distinct from Reset so owners can surface a timeout, not a refusal.
+	RetryExceeded bool
 }
 
 func (a *Actions) merge(b Actions) {
@@ -164,6 +183,7 @@ func (a *Actions) merge(b Actions) {
 	a.PeerClosed = a.PeerClosed || b.PeerClosed
 	a.Closed = a.Closed || b.Closed
 	a.Reset = a.Reset || b.Reset
+	a.RetryExceeded = a.RetryExceeded || b.RetryExceeded
 }
 
 // flightSeg is a transmitted, unacknowledged segment retained for

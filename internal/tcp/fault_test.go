@@ -1,0 +1,114 @@
+package tcp
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/buf"
+	"repro/internal/fault"
+)
+
+// TestInjectorDrivenLossRecovery drives the pure-protocol harness's loss
+// hook from a seeded fault.Injector — the same decision engine the fabric
+// uses — and asserts record-mode TCP still delivers every byte in order
+// exactly once.
+func TestInjectorDrivenLossRecovery(t *testing.T) {
+	in := fault.NewInjector(fault.Plan{Seed: 1234, DropProb: 0.05, SkipFirst: 4})
+	var ordinal uint64
+	n := pair(t, Record, 1460, 64*1024, nil)
+	n.drop = func(from, idx int, seg *Segment) bool {
+		o := ordinal
+		ordinal++
+		return in.Decide(o, 0, from, 1-from, 0).Drop
+	}
+	const records, recLen = 200, 1000
+	var want []byte
+	for i := 0; i < records; i++ {
+		b := buf.Pattern(recLen, byte(i))
+		want = append(want, b.Data()...)
+		n.send(0, b)
+		n.run(2_000_000) // 2 ms between posts: loss recovery interleaves
+	}
+	n.run(300_000_000_000) // drain with RTO headroom
+	if in.Stats().Drops == 0 {
+		t.Fatal("plan injected no drops; test exercises nothing")
+	}
+	if got := n.totalDelivered(1); got != records*recLen {
+		t.Fatalf("delivered %d bytes, want %d (drops=%d)", got, records*recLen, in.Stats().Drops)
+	}
+	if len(n.delivered[1]) != records {
+		t.Fatalf("delivered %d records, want %d", len(n.delivered[1]), records)
+	}
+	if !bytes.Equal(n.deliveredBytes(1), want) {
+		t.Fatal("delivered bytes differ from sent bytes")
+	}
+	if n.ackedRec[0] != records {
+		t.Fatalf("sender saw %d record completions, want %d", n.ackedRec[0], records)
+	}
+}
+
+// TestRetryExceededOnBlackhole: once established, if the peer goes silent,
+// the retransmission budget (MaxRetries) must produce a RetryExceeded
+// action — not a Reset, not an unbounded retry loop.
+func TestRetryExceededOnBlackhole(t *testing.T) {
+	n := pair(t, Record, 1460, 64*1024, func(c *Config) { c.MaxRetries = 6 })
+	// Black-hole everything after establishment.
+	n.drop = func(from, idx int, seg *Segment) bool { return true }
+	start := n.now
+	n.send(0, buf.Pattern(500, 1))
+	n.run(600_000_000_000) // 10 minutes: far beyond the budget
+	if !n.retryEx[0] {
+		t.Fatalf("no RetryExceeded after black-holing (state=%v)", n.conns[0].State())
+	}
+	if n.reset[0] {
+		t.Fatal("give-up surfaced as Reset; must be RetryExceeded")
+	}
+	if n.conns[0].State() != Closed {
+		t.Fatalf("state = %v after retry exhaustion, want Closed", n.conns[0].State())
+	}
+	// A budget of 6 means 7 timeouts: 3+6+12+24+48+96+120 (MaxRTO-capped)
+	// = 309 s worst case from the 3 s initial RTO.
+	if elapsed := n.now - start; elapsed > 310_000_000_000 {
+		t.Fatalf("gave up after %d ns; budget should bound this at 309s", elapsed)
+	}
+	if n.conns[0].Stats().RetryExceeded != 1 {
+		t.Fatalf("Stats.RetryExceeded = %d, want 1", n.conns[0].Stats().RetryExceeded)
+	}
+}
+
+// TestSynRetryBudget: an active open against a silent peer fails within the
+// SynMaxRetries budget — the connect timeout.
+func TestSynRetryBudget(t *testing.T) {
+	c := NewConn(Config{
+		LocalPort: 1000, RemotePort: 2000,
+		Mode: Record, MSS: 1460, RecvWindow: 64 * 1024,
+		SynMaxRetries: 3,
+	})
+	now := int64(1_000_000_000)
+	if _, err := c.Connect(now); err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	var sawRetryEx bool
+	for i := 0; i < 50; i++ {
+		d, ok := c.NextTimeout()
+		if !ok {
+			break
+		}
+		now = d
+		acts := c.OnTimer(now)
+		if acts.RetryExceeded {
+			sawRetryEx = true
+			break
+		}
+	}
+	if !sawRetryEx {
+		t.Fatalf("SYN retries never exhausted (state=%v)", c.State())
+	}
+	if c.State() != Closed {
+		t.Fatalf("state = %v, want Closed", c.State())
+	}
+	// 3 SYN retries at 3s initial RTO: 3+6+12+24 = 45s worst case.
+	if elapsed := now - 1_000_000_000; elapsed > 50_000_000_000 {
+		t.Fatalf("connect attempt ran %d ns, want bounded by ~45s", elapsed)
+	}
+}

@@ -1,0 +1,41 @@
+package tcp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseHeader throws arbitrary bytes at the TCP header parser: no
+// input may panic, and any header it accepts must claim a length within
+// the input. Option soup (NOPs, truncated kinds, zero lengths) is the
+// interesting surface.
+func FuzzParseHeader(f *testing.F) {
+	syn := (&Segment{
+		SrcPort: 4660, DstPort: 7000, Seq: 100, Flags: SYN,
+		Wnd: 65535, MSS: 16384, WScale: 7, SACKPerm: true,
+		HasTS: true, TSVal: 1, TSEcr: 0,
+	}).MarshalHeader()
+	plain := (&Segment{
+		SrcPort: 1, DstPort: 2, Seq: 5, Ack: 6, Flags: ACK, Wnd: 100, WScale: -1,
+	}).MarshalHeader()
+	f.Add(syn)
+	f.Add(plain)
+	f.Add(plain[:19]) // truncated base header
+	f.Add(plain[:0])
+	badOffset := bytes.Clone(plain)
+	badOffset[12] = 0xf0 // claims 60-byte header in a 20-byte buffer
+	f.Add(badOffset)
+	zeroLenOpt := bytes.Clone(syn)
+	zeroLenOpt[BaseHeaderLen+1] = 0 // option length 0: must not loop forever
+	f.Add(zeroLenOpt)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, hlen, err := ParseHeader(b)
+		if err != nil {
+			return
+		}
+		if hlen < BaseHeaderLen || hlen > len(b) {
+			t.Fatalf("accepted header length %d outside input of %d bytes", hlen, len(b))
+		}
+		_ = s.Flags.String()
+	})
+}

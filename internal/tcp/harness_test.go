@@ -27,6 +27,7 @@ type testNet struct {
 	peerFin   [2]bool
 	closed    [2]bool
 	reset     [2]bool
+	retryEx   [2]bool
 }
 
 type netEvent struct {
@@ -52,6 +53,7 @@ func (n *testNet) apply(from int, a Actions) {
 	n.peerFin[from] = n.peerFin[from] || a.PeerClosed
 	n.closed[from] = n.closed[from] || a.Closed
 	n.reset[from] = n.reset[from] || a.Reset
+	n.retryEx[from] = n.retryEx[from] || a.RetryExceeded
 	for _, seg := range a.Segments {
 		idx := n.sent[from]
 		n.sent[from]++

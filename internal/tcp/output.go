@@ -74,7 +74,12 @@ func (c *Conn) outputRecords(now int64, a *Actions) {
 			}
 			// Nothing in flight: allowed only if the peer's whole window
 			// (not cwnd) could ever admit it, else wait for window update.
-			if rec.Len() > c.sndWnd {
+			// The advertisement is truncated to the window-scale granularity,
+			// so credit the peer the up-to-2^scale-1 bytes it cannot express:
+			// a record exactly the size of the peer's posted buffer would
+			// otherwise deadlock once the window shrinks to one message.
+			// Record-mode delivery is WR-driven, so the overshoot is safe.
+			if rec.Len() > c.sndWnd+(1<<c.sndScale-1) {
 				return
 			}
 		}
@@ -170,7 +175,9 @@ func (c *Conn) windowBlocked() bool {
 		return false
 	}
 	if c.cfg.Mode == Record {
-		return len(c.pendingRecords) > 0 && c.pendingRecords[0].Len() > c.sndWnd
+		// Mirror outputRecords' nothing-in-flight escape, including the
+		// window-scale truncation credit.
+		return len(c.pendingRecords) > 0 && c.pendingRecords[0].Len() > c.sndWnd+(1<<c.sndScale-1)
 	}
 	return c.sndWnd == 0
 }

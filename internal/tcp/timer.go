@@ -62,9 +62,14 @@ func (c *Conn) onRexmtTimeout(now int64, a *Actions) {
 	}
 	c.stats.Timeouts++
 	c.rtoBackoff++
-	if c.rtoBackoff > 12 {
-		// Give up: the peer is unreachable.
-		a.Reset = true
+	limit := c.cfg.MaxRetries
+	if c.state == SynSent || c.state == SynRcvd {
+		limit = c.cfg.SynMaxRetries
+	}
+	if c.rtoBackoff > limit {
+		// Give up: the peer is unreachable within the retry budget.
+		c.stats.RetryExceeded++
+		a.RetryExceeded = true
 		c.toClosed(a)
 		return
 	}
@@ -100,10 +105,15 @@ func (c *Conn) onPersistTimeout(now int64, a *Actions) {
 		c.emit(a, seg)
 		c.armRexmt(now)
 	} else {
-		// Record mode cannot split a message; probe with a pure ACK. The
-		// peer re-announces its window in response to the duplicate.
+		// Record mode cannot split a message, so probe keepalive-style: a
+		// pure ACK one sequence number below sndNxt. The segment is never
+		// acceptable at the receiver (RFC 793 p.69), which forces an ACK
+		// reply carrying the current window. A probe at sndNxt would be
+		// acceptable and could go unanswered when the peer believes its
+		// last window advertisement arrived — deadlock if that ACK was the
+		// frame the network dropped.
 		seg := c.makeSeg(ACK, buf.Empty)
-		seg.Seq = c.sndNxt
+		seg.Seq = c.sndNxt.Add(-1)
 		c.stampTS(seg, now)
 		c.emit(a, seg)
 	}

@@ -80,3 +80,42 @@ func (s *Stages) String() string {
 	}
 	return b.String()
 }
+
+// Counters is a set of named monotonic event counters — the per-stack
+// drop/corrupt/retransmit accounting the fault-injection layer and the
+// chaos benches read. Names are dotted paths ("rx.corrupt",
+// "tx.retransmit") so related counters sort together.
+type Counters struct {
+	m map[string]uint64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters { return &Counters{m: make(map[string]uint64)} }
+
+// Add increments the named counter by delta.
+func (c *Counters) Add(name string, delta uint64) { c.m[name] += delta }
+
+// Get reports the named counter (0 if never incremented).
+func (c *Counters) Get(name string) uint64 { return c.m[name] }
+
+// Names reports all incremented counter names, sorted.
+func (c *Counters) Names() []string {
+	out := make([]string, 0, len(c.m))
+	for k := range c.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset clears all counters.
+func (c *Counters) Reset() { c.m = make(map[string]uint64) }
+
+// String renders the counter table.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for _, n := range c.Names() {
+		fmt.Fprintf(&b, "%-24s %10d\n", n, c.m[n])
+	}
+	return b.String()
+}

@@ -1,0 +1,47 @@
+package udp
+
+import (
+	"testing"
+
+	"repro/internal/buf"
+	"repro/internal/inet"
+)
+
+// FuzzParse feeds arbitrary bytes to the UDP header parser: never panic,
+// and any accepted header's claimed payload length must be non-negative.
+func FuzzParse(f *testing.F) {
+	valid := Marshal6(inet.NodeAddr6(0), inet.NodeAddr6(1), 4660, 7000, buf.Pattern(32, 1))
+	f.Add(valid)
+	f.Add(valid[:7]) // truncated
+	f.Add(valid[:0])
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 0, 0}) // length field 3 < header size
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, paylen, err := Parse(b)
+		if err != nil {
+			return
+		}
+		if paylen < 0 {
+			t.Fatalf("accepted header claims negative payload: %d", paylen)
+		}
+		if int(h.Length) != paylen+HeaderLen {
+			t.Fatalf("length accounting: %d != %d+%d", h.Length, paylen, HeaderLen)
+		}
+	})
+}
+
+// FuzzVerify4 checks the IPv4-side checksum verifier tolerates arbitrary
+// header bytes (it indexes into the checksum field) with any payload size.
+func FuzzVerify4(f *testing.F) {
+	pay := buf.Pattern(16, 2)
+	valid := Marshal4(inet.NodeAddr4(0), inet.NodeAddr4(1), 4660, 7000, pay)
+	f.Add(valid, 16)
+	f.Add(valid[:7], 16) // truncated header
+	f.Add(valid[:0], 0)
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, 4) // zero checksum: "not computed"
+	f.Fuzz(func(t *testing.T, hdr []byte, n int) {
+		if n < 0 || n > 1<<16 {
+			return
+		}
+		_ = Verify4(inet.NodeAddr4(0), inet.NodeAddr4(1), hdr, buf.Pattern(n, 3))
+	})
+}

@@ -15,6 +15,12 @@ type CQ struct {
 	entries  []Completion
 	waiter   *sim.Proc
 	overflow uint64
+	// overflowPending arms the synthetic StatusCQOverflow completion the
+	// application reaps after draining what survived — overflow is an
+	// application sizing bug, and this is how it is surfaced instead of
+	// silently losing completions.
+	overflowPending bool
+	maxLen          int
 
 	polls, emptyPolls, waits uint64
 }
@@ -37,15 +43,26 @@ func (c *CQ) Len() int { return len(c.entries) }
 // sizing bug in the application, never silent.
 func (c *CQ) Overflows() uint64 { return c.overflow }
 
+// MaxLen reports the high-water mark of queued completions; the DESIGN §8
+// invariant is MaxLen() <= Depth().
+func (c *CQ) MaxLen() int { return c.maxLen }
+
 // Push appends a completion. Called by the Device in simulation context
 // (the adapter's DMA of the token has already been charged). It wakes a
-// waiting process.
+// waiting process. A push onto a full CQ never grows it past its depth:
+// the completion is lost, counted, and a pending synthetic
+// StatusCQOverflow completion is armed so the application observes the
+// loss when it next drains the queue.
 func (c *CQ) Push(comp Completion) {
 	if len(c.entries) >= c.depth {
 		c.overflow++
+		c.overflowPending = true
 		return
 	}
 	c.entries = append(c.entries, comp)
+	if len(c.entries) > c.maxLen {
+		c.maxLen = len(c.entries)
+	}
 	if c.waiter != nil {
 		w := c.waiter
 		c.waiter = nil
@@ -58,6 +75,11 @@ func (c *CQ) Push(comp Completion) {
 func (c *CQ) Poll(p *sim.Proc) (Completion, bool) {
 	c.polls++
 	if len(c.entries) == 0 {
+		if c.overflowPending {
+			c.overflowPending = false
+			p.Use(c.dev.HostCPU().Server, params.US(params.VerbsPollUS))
+			return Completion{Status: StatusCQOverflow}, true
+		}
 		c.emptyPolls++
 		p.Use(c.dev.HostCPU().Server, params.US(params.VerbsPollEmptyUS))
 		return Completion{}, false

@@ -1,0 +1,121 @@
+package verbs
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/buf"
+	"repro/internal/inet"
+	"repro/internal/sim"
+)
+
+// TestCQOverflowGracefulDegradation pins the DESIGN §8 invariant: a CQ
+// never grows past its depth; overflow is surfaced as a synthetic
+// StatusCQOverflow completion once the queue drains, never as silent loss
+// or unbounded growth.
+func TestCQOverflowGracefulDegradation(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newFake(eng)
+	cq := NewCQ(d, 2)
+	for i := uint64(1); i <= 5; i++ {
+		cq.Push(Completion{WRID: i})
+		if cq.Len() > cq.Depth() {
+			t.Fatalf("Len %d exceeded Depth %d", cq.Len(), cq.Depth())
+		}
+	}
+	if cq.Overflows() != 3 {
+		t.Fatalf("Overflows = %d, want 3", cq.Overflows())
+	}
+	if cq.MaxLen() > cq.Depth() {
+		t.Fatalf("MaxLen %d exceeded Depth %d", cq.MaxLen(), cq.Depth())
+	}
+	eng.Spawn("app", func(p *sim.Proc) {
+		// The two completions that fit drain first.
+		for want := uint64(1); want <= 2; want++ {
+			comp, ok := cq.Poll(p)
+			if !ok || comp.WRID != want || comp.Status != StatusSuccess {
+				t.Fatalf("Poll = %+v, %v; want WRID %d", comp, ok, want)
+			}
+		}
+		// Then exactly one synthetic overflow completion.
+		comp, ok := cq.Poll(p)
+		if !ok || comp.Status != StatusCQOverflow {
+			t.Fatalf("Poll after drain = %+v, %v; want StatusCQOverflow", comp, ok)
+		}
+		// And then the queue is simply empty: the signal fires once.
+		if _, ok := cq.Poll(p); ok {
+			t.Fatal("second synthetic overflow completion")
+		}
+		// Overflow re-arms: the CQ stays usable after the incident.
+		cq.Push(Completion{WRID: 10})
+		cq.Push(Completion{WRID: 11})
+		cq.Push(Completion{WRID: 12}) // overflows again
+		cq.Poll(p)
+		cq.Poll(p)
+		if comp, ok := cq.Poll(p); !ok || comp.Status != StatusCQOverflow {
+			t.Fatalf("second overflow not re-armed: %+v, %v", comp, ok)
+		}
+	})
+	eng.Run()
+}
+
+// TestCQMaxLenUnderChurn: interleaved push/poll traffic at the depth
+// boundary keeps the high-water mark at or below depth.
+func TestCQMaxLenUnderChurn(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newFake(eng)
+	cq := NewCQ(d, 4)
+	eng.Spawn("app", func(p *sim.Proc) {
+		id := uint64(0)
+		for round := 0; round < 50; round++ {
+			for i := 0; i < 3; i++ {
+				id++
+				cq.Push(Completion{WRID: id})
+			}
+			for i := 0; i < 2; i++ {
+				cq.Poll(p)
+			}
+		}
+		if cq.MaxLen() > cq.Depth() {
+			t.Fatalf("MaxLen %d exceeded Depth %d", cq.MaxLen(), cq.Depth())
+		}
+		if cq.Overflows() == 0 {
+			t.Fatal("churn at the boundary never overflowed; test exercises nothing")
+		}
+	})
+	eng.Run()
+}
+
+// TestSetFailedRetryExceeded: retry exhaustion flushes outstanding WRs
+// with StatusRetryExceeded and pins the QP error for later posts.
+func TestSetFailedRetryExceeded(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newFake(eng)
+	qp, scq, rcq := mkQP(t, eng, d, Reliable, 8)
+	qp.SetEstablished(1, 2, inet.NodeAddr6(1))
+	eng.Spawn("app", func(p *sim.Proc) {
+		qp.PostSend(p, SendWR{ID: 1, Payload: buf.Virtual(1)})
+		qp.PostRecv(p, RecvWR{ID: 2, Capacity: 64})
+		qp.SetFailed(ErrRetryExceeded, StatusRetryExceeded)
+		if qp.State() != QPError {
+			t.Fatalf("state = %v, want QPError", qp.State())
+		}
+		sc, ok := scq.Poll(p)
+		if !ok || sc.Status != StatusRetryExceeded || sc.WRID != 1 {
+			t.Errorf("send completion = %+v, %v; want StatusRetryExceeded", sc, ok)
+		}
+		rc, ok := rcq.Poll(p)
+		if !ok || rc.Status != StatusRetryExceeded || rc.WRID != 2 {
+			t.Errorf("recv completion = %+v, %v; want StatusRetryExceeded", rc, ok)
+		}
+		if err := qp.PostSend(p, SendWR{ID: 3, Payload: buf.Virtual(1)}); !errors.Is(err, ErrRetryExceeded) {
+			t.Errorf("PostSend after failure = %v, want ErrRetryExceeded", err)
+		}
+		// A second failure is a no-op: completions don't double.
+		qp.SetFailed(errors.New("other"), StatusFlushed)
+		if _, ok := scq.Poll(p); ok {
+			t.Error("idempotent SetFailed produced extra completions")
+		}
+	})
+	eng.Run()
+}

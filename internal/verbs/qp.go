@@ -244,27 +244,35 @@ func (q *QP) SetEstablished(local, remote uint16, raddr inet.Addr6) {
 	q.wakeEst()
 }
 
-// SetError fails the QP and flushes outstanding WRs.
-func (q *QP) SetError(err error) {
+// SetError fails the QP and flushes outstanding WRs with StatusFlushed.
+func (q *QP) SetError(err error) { q.SetFailed(err, StatusFlushed) }
+
+// SetFailed fails the QP, flushing posted-but-unconsumed WRs with the
+// given terminal status (StatusRetryExceeded for retry exhaustion,
+// StatusFlushed otherwise). Idempotent once the QP left the live states.
+func (q *QP) SetFailed(err error, status Status) {
 	if q.state == QPError || q.state == QPClosed {
 		return
 	}
 	q.state = QPError
 	q.err = err
-	q.Flush()
+	q.FlushWith(status)
 	q.wakeEst()
 }
 
 // Flush completes all posted-but-unconsumed WRs with StatusFlushed.
-func (q *QP) Flush() {
+func (q *QP) Flush() { q.FlushWith(StatusFlushed) }
+
+// FlushWith completes all posted-but-unconsumed WRs with status.
+func (q *QP) FlushWith(status Status) {
 	for _, wr := range q.sendQ {
 		q.outSend--
-		q.SendCQ.Push(Completion{QPN: q.QPN, WRID: wr.ID, Op: OpSend, Status: StatusFlushed})
+		q.SendCQ.Push(Completion{QPN: q.QPN, WRID: wr.ID, Op: OpSend, Status: status})
 	}
 	q.sendQ = nil
 	for _, wr := range q.recvQ {
 		q.outRecv--
-		q.RecvCQ.Push(Completion{QPN: q.QPN, WRID: wr.ID, Op: OpRecv, Status: StatusFlushed})
+		q.RecvCQ.Push(Completion{QPN: q.QPN, WRID: wr.ID, Op: OpRecv, Status: status})
 	}
 	q.recvQ = nil
 	q.postedRecv = 0

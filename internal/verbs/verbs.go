@@ -72,6 +72,14 @@ const (
 	StatusLenError
 	// StatusRemoteError marks a send aborted by connection failure.
 	StatusRemoteError
+	// StatusRetryExceeded marks a WR terminated because TCP
+	// retransmission exhausted its retry budget — the peer is
+	// unreachable. The QP has transitioned to QPError.
+	StatusRetryExceeded
+	// StatusCQOverflow is a synthetic completion reporting that the CQ
+	// overflowed and real completions were lost (CQ.Overflows counts
+	// them). It carries no WR identity.
+	StatusCQOverflow
 )
 
 func (s Status) String() string {
@@ -84,6 +92,10 @@ func (s Status) String() string {
 		return "length-error"
 	case StatusRemoteError:
 		return "remote-error"
+	case StatusRetryExceeded:
+		return "retry-exceeded"
+	case StatusCQOverflow:
+		return "cq-overflow"
 	default:
 		return fmt.Sprintf("status(%d)", int(s))
 	}
@@ -131,6 +143,11 @@ var (
 	ErrNoRoute      = errors.New("verbs: no route to destination")
 	ErrConnRefused  = errors.New("verbs: connection refused")
 	ErrNotSupported = errors.New("verbs: operation not supported")
+	// ErrRetryExceeded reports a connection torn down after TCP
+	// retransmission exhausted its retry budget (unreachable peer).
+	ErrRetryExceeded = errors.New("verbs: retry budget exceeded, peer unreachable")
+	// ErrNoResources reports adapter state-table (SRAM TCB) exhaustion.
+	ErrNoResources = errors.New("verbs: adapter out of QP resources")
 )
 
 // Device is the adapter seen from the host library: the QPIP NIC firmware

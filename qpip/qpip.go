@@ -41,6 +41,7 @@ package qpip
 import (
 	"repro/internal/buf"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/inet"
 	"repro/internal/qpipnic"
 	"repro/internal/sim"
@@ -98,11 +99,62 @@ const (
 	Unreliable = verbs.Unreliable
 )
 
+// QP lifecycle states (QP.State).
+const (
+	QPReset       = verbs.QPReset
+	QPConnecting  = verbs.QPConnecting
+	QPEstablished = verbs.QPEstablished
+	QPError       = verbs.QPError
+	QPClosed      = verbs.QPClosed
+)
+
 // Completion statuses.
 const (
 	StatusSuccess = verbs.StatusSuccess
 	StatusFlushed = verbs.StatusFlushed
+	// StatusRetryExceeded: the adapter's TCP retry budget ran out — the
+	// peer is unreachable and the QP moved to the error state.
+	StatusRetryExceeded = verbs.StatusRetryExceeded
+	// StatusCQOverflow is the synthetic completion surfacing a CQ sized
+	// too small for its completion rate.
+	StatusCQOverflow = verbs.StatusCQOverflow
 )
+
+// Terminal connection errors surfaced through QP.Err.
+var (
+	// ErrRetryExceeded: retransmission gave up; the peer is unreachable.
+	ErrRetryExceeded = verbs.ErrRetryExceeded
+	// ErrNoResources: the adapter's QP/TCB state table is exhausted.
+	ErrNoResources = verbs.ErrNoResources
+	// ErrConnRefused: the peer answered the connection attempt with a
+	// reset (no listener on the port).
+	ErrConnRefused = verbs.ErrConnRefused
+)
+
+// Fault injection (chaos testing): a seeded deterministic plan of drops,
+// corruption, duplication, delay and link flaps applied to the fabric.
+type (
+	// FaultPlan describes the faults to inject.
+	FaultPlan = fault.Plan
+	// FaultInjector applies a FaultPlan; it records stats and a
+	// reproducible event trace.
+	FaultInjector = fault.Injector
+	// Flap is one scheduled link-down window.
+	Flap = fault.Flap
+)
+
+// InjectFaults attaches a seeded fault plan to the cluster's primary
+// fabric (Myrinet when present, Ethernet otherwise) and returns the
+// injector for stats and trace inspection.
+func InjectFaults(c *Cluster, plan FaultPlan) *FaultInjector {
+	in := fault.NewInjector(plan)
+	if c.Myrinet != nil {
+		in.Attach(c.Eng, c.Myrinet)
+	} else if c.Eth != nil {
+		in.Attach(c.Eng, c.Eth)
+	}
+	return in
+}
 
 // Checksum placement modes for the adapter's receive path.
 const (
@@ -130,6 +182,14 @@ func NewReliableQP(node *Node, depth int) (*QP, *CQ, *CQ, error) {
 	})
 	return qp, scq, rcq, err
 }
+
+// NewCQ creates a standalone completion queue on node's QPIP adapter, for
+// applications that share one CQ across several QPs.
+func NewCQ(node *Node, depth int) *CQ { return verbs.NewCQ(node.QPIP, depth) }
+
+// NewQPWith creates a QP on node's QPIP adapter with explicit CQs and
+// depths (the general form of NewReliableQP/NewUnreliableQP).
+func NewQPWith(node *Node, cfg QPConfig) (*QP, error) { return verbs.NewQP(node.QPIP, cfg) }
 
 // NewUnreliableQP creates an unreliable (UDP) QP on node.
 func NewUnreliableQP(node *Node, depth int) (*QP, *CQ, *CQ, error) {
