@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz check bench chaos
+.PHONY: build test vet race fuzz check bench microbench chaos
+
+# Official PR-2 performance measurement size and repetitions.
+BENCH_BYTES ?= 33554432
+BENCH_REPEATS ?= 5
 
 build:
 	$(GO) build ./...
@@ -24,11 +28,22 @@ fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzVerify4 -fuzztime=5s ./internal/udp
 
 # The verification gate: static analysis, the full suite under the race
-# detector, and the plain suite (also exercises the fuzz seed corpora).
+# detector, the plain suite (also exercises the fuzz seed corpora), and a
+# one-shot perf smoke so a broken harness fails the gate, not the bench run.
 check: vet race test
+	$(GO) run ./cmd/qpipbench -exp perf -bytes 1048576 -perf-repeats 1 >/dev/null
 
-bench:
-	$(GO) test -bench=. -benchmem
+# Regenerate BENCH_PR2.json: microbenchmarks, the seed-commit baseline
+# (built from a throwaway worktree of the pre-PR tree), and the in-binary
+# A/B comparison with the seed measurement folded in.
+bench: microbench
+	scripts/bench_seed.sh $(BENCH_BYTES) $(BENCH_REPEATS) > /tmp/seed_baseline.json
+	$(GO) run ./cmd/qpipbench -exp perf -bytes $(BENCH_BYTES) \
+		-perf-repeats $(BENCH_REPEATS) \
+		-seed-json /tmp/seed_baseline.json -json BENCH_PR2.json
+
+microbench:
+	$(GO) test -bench=. -benchmem ./internal/sim/ ./internal/tcp/ ./internal/fabric/
 
 chaos:
 	$(GO) run ./cmd/qpipbench -exp chaos

@@ -3,32 +3,76 @@
 //
 // Usage:
 //
-//	qpipbench [-exp all|fig3|fig4|table1|table2|table3|fig7|chaos|ablations]
+//	qpipbench [-exp all|fig3|fig4|table1|table2|table3|fig7|chaos|ablations|perf]
 //	          [-bytes N] [-nbd-bytes N] [-iters N] [-full]
+//	          [-parallel N] [-cpuprofile FILE] [-memprofile FILE]
+//	          [-json FILE] [-seed-json FILE] [-perf-repeats N]
 //
 // -full runs the paper's exact workload sizes (10 MB ttcp, 409 MB NBD);
 // the default sizes are reduced for quick runs.
+//
+// -parallel N runs independent sweep points (each with its own engine and
+// cluster) across up to N goroutines; 0 means GOMAXPROCS. Reports are
+// byte-identical to a sequential run. -exp perf compares the optimized
+// engine against the seed's mechanisms and, with -json, writes the
+// machine-readable report (BENCH_PR2.json).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig3, fig4, table1, table2, table3, fig7, chaos, ablations")
+	exp := flag.String("exp", "all", "experiment: all, fig3, fig4, table1, table2, table3, fig7, chaos, ablations, perf")
 	bytes := flag.Int("bytes", 4<<20, "ttcp transfer size in bytes")
 	nbdBytes := flag.Int("nbd-bytes", 64<<20, "NBD benchmark size in bytes")
 	iters := flag.Int("iters", 50, "ping-pong iterations for latency experiments")
 	full := flag.Bool("full", false, "use the paper's workload sizes (10 MB ttcp, 409 MB NBD)")
+	parallel := flag.Int("parallel", 1, "concurrent sweep points (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	jsonPath := flag.String("json", "", "write the -exp perf report as JSON to this file")
+	seedJSON := flag.String("seed-json", "", "seed-commit baseline JSON (from scripts/bench_seed.sh) to fold into the perf report")
+	perfRepeats := flag.Int("perf-repeats", 3, "ttcp repetitions per config in -exp perf (best-of)")
 	flag.Parse()
 
 	if *full {
 		*bytes = 10 << 20
 		*nbdBytes = 409 << 20
+	}
+	bench.SetParallelism(*parallel)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	run := func(name string, fn func()) {
@@ -58,6 +102,29 @@ func main() {
 		fmt.Print(bench.RenderAblation(bench.AblationDelAck(*bytes)))
 		fmt.Println()
 		fmt.Print(bench.RenderMTUSweep(bench.AblationMTU(*bytes)))
+	}))
+	// perf runs last: its baseline phase flips the process-wide legacy
+	// knobs, which must not overlap the experiments above.
+	run("perf", mark(func() {
+		rep := bench.Perf(*bytes, *perfRepeats)
+		if *seedJSON != "" {
+			data, err := os.ReadFile(*seedJSON)
+			if err == nil {
+				err = bench.AttachSeedBaseline(&rep, data)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "seed baseline: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Print(bench.RenderPerf(rep))
+		if *jsonPath != "" {
+			if err := bench.WritePerfJSON(*jsonPath, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
 	}))
 
 	if !ran {

@@ -75,13 +75,14 @@ func AblationMTU(totalBytes int) []TtcpRow {
 	if totalBytes <= 0 {
 		totalBytes = 10 << 20
 	}
-	var rows []TtcpRow
-	for _, mtu := range []int{1500, 4096, 9000, 16 * 1024, 32 * 1024} {
-		m := qpipTtcp(mtu, qpipnic.ChecksumEmulatedHW, totalBytes, nil)
-		rows = append(rows, TtcpRow{
-			Stack: "QPIP", MTU: mtu,
+	mtus := []int{1500, 4096, 9000, 16 * 1024, 32 * 1024}
+	rows := make([]TtcpRow, len(mtus))
+	sweep(len(mtus), func(i int) {
+		m := qpipTtcp(mtus[i], qpipnic.ChecksumEmulatedHW, totalBytes, nil)
+		rows[i] = TtcpRow{
+			Stack: "QPIP", MTU: mtus[i],
 			MBps: m.MBps, HostCPU: m.effectiveHostCPU(), NICCPU: m.NICCPU,
-		})
-	}
+		}
+	})
 	return rows
 }

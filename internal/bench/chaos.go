@@ -32,8 +32,11 @@ var chaosDropRates = []float64{0, 0.1, 1, 5}
 // retransmission work the loss induced. The injector spares the first 16
 // frames so connection establishment isn't the thing being measured.
 func Chaos(totalBytes int) []ChaosRow {
-	var rows []ChaosRow
-	for _, pct := range chaosDropRates {
+	// Each (rate, stack) cell is an independent sweep point with its own
+	// cluster and injector, so the sweep parallelizes cleanly.
+	rows := make([]ChaosRow, 2*len(chaosDropRates))
+	sweep(len(rows), func(i int) {
+		pct := chaosDropRates[i/2]
 		plan := fault.Plan{Seed: ChaosSeed, DropProb: pct / 100, SkipFirst: 16}
 
 		var inj *fault.Injector
@@ -48,20 +51,22 @@ func Chaos(totalBytes int) []ChaosRow {
 			}
 		}
 
-		q := qpipTtcp(params.MTUQPIP, qpipnic.ChecksumEmulatedHW, totalBytes, nil, attach)
-		rows = append(rows, ChaosRow{
-			Stack: QPIP, DropPct: pct, MBps: q.MBps,
-			Retrans: cl.Nodes[0].QPIP.Net.Get("tx.retransmit"),
-			Drops:   inj.Stats().Drops,
-		})
-
-		g := sockTtcp(IPGigE, totalBytes, nil, attach)
-		rows = append(rows, ChaosRow{
-			Stack: IPGigE, DropPct: pct, MBps: g.MBps,
-			Retrans: cl.Nodes[0].Kernel.Net.Get("tx.retransmit"),
-			Drops:   inj.Stats().Drops,
-		})
-	}
+		if i%2 == 0 {
+			q := qpipTtcp(params.MTUQPIP, qpipnic.ChecksumEmulatedHW, totalBytes, nil, attach)
+			rows[i] = ChaosRow{
+				Stack: QPIP, DropPct: pct, MBps: q.MBps,
+				Retrans: cl.Nodes[0].QPIP.Net.Get("tx.retransmit"),
+				Drops:   inj.Stats().Drops,
+			}
+		} else {
+			g := sockTtcp(IPGigE, totalBytes, nil, attach)
+			rows[i] = ChaosRow{
+				Stack: IPGigE, DropPct: pct, MBps: g.MBps,
+				Retrans: cl.Nodes[0].Kernel.Net.Get("tx.retransmit"),
+				Drops:   inj.Stats().Drops,
+			}
+		}
+	})
 	return rows
 }
 

@@ -22,29 +22,36 @@ func Figure3(iters int) []RTTRow {
 	if iters <= 0 {
 		iters = 50
 	}
-	rows := []RTTRow{
-		{
-			Stack: "IP/GigE",
-			UDPus: sockPingPong(IPGigE, true, iters),
-			TCPus: sockPingPong(IPGigE, false, iters),
-		},
-		{
-			Stack: "IP/Myrinet",
-			UDPus: sockPingPong(IPMyrinet, true, iters),
-			TCPus: sockPingPong(IPMyrinet, false, iters),
-		},
-		{
-			Stack: "QPIP (emulated hw csum)",
-			UDPus: qpipUDPPingPong(qpipnic.ChecksumEmulatedHW, iters),
-			TCPus: qpipPingPong(qpipnic.ChecksumEmulatedHW, params.MTUQPIP, iters, nil).rttUS,
-		},
-		{
-			Stack:      "QPIP (firmware csum)",
-			UDPus:      qpipUDPPingPong(qpipnic.ChecksumFirmware, iters),
-			TCPus:      qpipPingPong(qpipnic.ChecksumFirmware, params.MTUQPIP, iters, nil).rttUS,
-			PaperUDPus: 73, PaperTCPus: 113,
-		},
-	}
+	rows := make([]RTTRow, 4)
+	sweep(len(rows), func(i int) {
+		switch i {
+		case 0:
+			rows[i] = RTTRow{
+				Stack: "IP/GigE",
+				UDPus: sockPingPong(IPGigE, true, iters),
+				TCPus: sockPingPong(IPGigE, false, iters),
+			}
+		case 1:
+			rows[i] = RTTRow{
+				Stack: "IP/Myrinet",
+				UDPus: sockPingPong(IPMyrinet, true, iters),
+				TCPus: sockPingPong(IPMyrinet, false, iters),
+			}
+		case 2:
+			rows[i] = RTTRow{
+				Stack: "QPIP (emulated hw csum)",
+				UDPus: qpipUDPPingPong(qpipnic.ChecksumEmulatedHW, iters),
+				TCPus: qpipPingPong(qpipnic.ChecksumEmulatedHW, params.MTUQPIP, iters, nil).rttUS,
+			}
+		case 3:
+			rows[i] = RTTRow{
+				Stack:      "QPIP (firmware csum)",
+				UDPus:      qpipUDPPingPong(qpipnic.ChecksumFirmware, iters),
+				TCPus:      qpipPingPong(qpipnic.ChecksumFirmware, params.MTUQPIP, iters, nil).rttUS,
+				PaperUDPus: 73, PaperTCPus: 113,
+			}
+		}
+	})
 	return rows
 }
 
@@ -68,39 +75,47 @@ func Figure4(totalBytes int) []TtcpRow {
 	if totalBytes <= 0 {
 		totalBytes = 10 << 20 // the paper's 10 MB transfer
 	}
-	rows := []TtcpRow{}
-	g := sockTtcp(IPGigE, totalBytes, nil)
-	rows = append(rows, TtcpRow{
-		Stack: "IP/GigE", MTU: params.MTUEthernet,
-		MBps: g.MBps, HostCPU: g.effectiveHostCPU(), PaperMBps: 45.4,
-	})
-	m := sockTtcp(IPMyrinet, totalBytes, nil)
-	rows = append(rows, TtcpRow{
-		Stack: "IP/Myrinet", MTU: params.MTUJumbo,
-		MBps: m.MBps, HostCPU: m.effectiveHostCPU(),
-	})
-	for _, mtu := range []int{params.MTUEthernet, params.MTUJumbo, params.MTUQPIP} {
-		q := qpipTtcp(mtu, qpipnic.ChecksumEmulatedHW, totalBytes, nil)
-		paper := 0.0
-		switch mtu {
-		case params.MTUEthernet:
-			paper = 35.4
-		case params.MTUJumbo:
-			paper = 70.1
-		case params.MTUQPIP:
-			paper = 75.6
+	qpipMTUs := []int{params.MTUEthernet, params.MTUJumbo, params.MTUQPIP}
+	rows := make([]TtcpRow, 3+len(qpipMTUs))
+	sweep(len(rows), func(i int) {
+		switch {
+		case i == 0:
+			g := sockTtcp(IPGigE, totalBytes, nil)
+			rows[i] = TtcpRow{
+				Stack: "IP/GigE", MTU: params.MTUEthernet,
+				MBps: g.MBps, HostCPU: g.effectiveHostCPU(), PaperMBps: 45.4,
+			}
+		case i == 1:
+			m := sockTtcp(IPMyrinet, totalBytes, nil)
+			rows[i] = TtcpRow{
+				Stack: "IP/Myrinet", MTU: params.MTUJumbo,
+				MBps: m.MBps, HostCPU: m.effectiveHostCPU(),
+			}
+		case i < 2+len(qpipMTUs):
+			mtu := qpipMTUs[i-2]
+			q := qpipTtcp(mtu, qpipnic.ChecksumEmulatedHW, totalBytes, nil)
+			paper := 0.0
+			switch mtu {
+			case params.MTUEthernet:
+				paper = 35.4
+			case params.MTUJumbo:
+				paper = 70.1
+			case params.MTUQPIP:
+				paper = 75.6
+			}
+			rows[i] = TtcpRow{
+				Stack: "QPIP", MTU: mtu,
+				MBps: q.MBps, HostCPU: q.effectiveHostCPU(), NICCPU: q.NICCPU,
+				PaperMBps: paper,
+			}
+		default:
+			fw := qpipTtcp(params.MTUQPIP, qpipnic.ChecksumFirmware, totalBytes, nil)
+			rows[i] = TtcpRow{
+				Stack: "QPIP (fw csum)", MTU: params.MTUQPIP,
+				MBps: fw.MBps, HostCPU: fw.effectiveHostCPU(), NICCPU: fw.NICCPU,
+				PaperMBps: 26.4,
+			}
 		}
-		rows = append(rows, TtcpRow{
-			Stack: "QPIP", MTU: mtu,
-			MBps: q.MBps, HostCPU: q.effectiveHostCPU(), NICCPU: q.NICCPU,
-			PaperMBps: paper,
-		})
-	}
-	fw := qpipTtcp(params.MTUQPIP, qpipnic.ChecksumFirmware, totalBytes, nil)
-	rows = append(rows, TtcpRow{
-		Stack: "QPIP (fw csum)", MTU: params.MTUQPIP,
-		MBps: fw.MBps, HostCPU: fw.effectiveHostCPU(), NICCPU: fw.NICCPU,
-		PaperMBps: 26.4,
 	})
 	return rows
 }

@@ -154,11 +154,18 @@ func Figure7(totalBytes int) []NBDRow {
 	if totalBytes <= 0 {
 		totalBytes = 409 << 20
 	}
-	return []NBDRow{
-		nbdSockRun(IPGigE, totalBytes),
-		nbdSockRun(IPMyrinet, totalBytes),
-		nbdQPIPRun(totalBytes),
-	}
+	rows := make([]NBDRow, 3)
+	sweep(len(rows), func(i int) {
+		switch i {
+		case 0:
+			rows[i] = nbdSockRun(IPGigE, totalBytes)
+		case 1:
+			rows[i] = nbdSockRun(IPMyrinet, totalBytes)
+		case 2:
+			rows[i] = nbdQPIPRun(totalBytes)
+		}
+	})
+	return rows
 }
 
 // Figure7Single runs the NBD benchmark on one stack.

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/pool"
+	"repro/internal/sim"
+)
+
+// TestPerfReportShape smokes the PR-2 A/B harness at a tiny size: both
+// configurations must simulate the identical world (same event count, same
+// simulated throughput) and the optimized send path must allocate less.
+func TestPerfReportShape(t *testing.T) {
+	rep := Perf(256*1024, 1)
+	if rep.Ttcp.Baseline.Events != rep.Ttcp.Optimized.Events {
+		t.Errorf("event counts diverged: baseline %d, optimized %d",
+			rep.Ttcp.Baseline.Events, rep.Ttcp.Optimized.Events)
+	}
+	if rep.Ttcp.Baseline.SimMBps != rep.Ttcp.Optimized.SimMBps {
+		t.Errorf("simulated throughput diverged: baseline %.3f, optimized %.3f",
+			rep.Ttcp.Baseline.SimMBps, rep.Ttcp.Optimized.SimMBps)
+	}
+	if rep.SendPath.OptimizedAllocsPerOp >= rep.SendPath.BaselineAllocsPerOp {
+		t.Errorf("send path allocs did not improve: baseline %.2f, optimized %.2f",
+			rep.SendPath.BaselineAllocsPerOp, rep.SendPath.OptimizedAllocsPerOp)
+	}
+	if !sim.LegacyQueue() == false || !pool.Enabled() {
+		t.Error("Perf did not restore the optimized defaults")
+	}
+}
+
+// BenchmarkTtcpOptimized runs the full QPIP ttcp transfer on the optimized
+// engine — the profiling entry point for simulator-speed work
+// (go test -bench TtcpOptimized -cpuprofile cpu.out ./internal/bench).
+func BenchmarkTtcpOptimized(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		measureTtcpOnce("optimized", 8<<20)
+	}
+}
+
+// BenchmarkTtcpLegacy is the same transfer on the seed's mechanisms.
+func BenchmarkTtcpLegacy(b *testing.B) {
+	sim.SetLegacyQueue(true)
+	pool.SetEnabled(false)
+	defer func() {
+		sim.SetLegacyQueue(false)
+		pool.SetEnabled(true)
+	}()
+	for i := 0; i < b.N; i++ {
+		measureTtcpOnce("legacy", 8<<20)
+	}
+}

@@ -12,7 +12,9 @@ package fabric
 
 import (
 	"fmt"
+	"sync"
 
+	"repro/internal/pool"
 	"repro/internal/sim"
 )
 
@@ -24,6 +26,114 @@ type Frame struct {
 	WireSize int
 	// Payload is the network-layer packet (owned by the stacks).
 	Payload any
+
+	// pooled marks frames from NewFrame's pool; only those are recycled.
+	pooled bool
+	// deliveries counts pending handler invocations (2 when the fault
+	// layer duplicates); the frame is recycled after the last one.
+	deliveries int8
+
+	// In-flight transit state: the continuations below are bound to the
+	// frame once (surviving pool recycling), so a fault-free transit
+	// schedules no per-frame closures.
+	fab    *Fabric
+	dport  *port
+	onTx   func()
+	delay  sim.Time // fault-injected extra switch delay
+	ser    sim.Time // serialization time (dup offset, s&f re-serialization)
+	dup    bool
+	txFn   func() // sender link transmitter finished
+	swFn   func() // store-and-forward: switch forwards onto the dst link
+	fwdFn  func() // store-and-forward: dst link serialization finished
+	dlvrFn func() // final delivery to the attachment handler
+}
+
+// bindFns builds the frame's transit continuations (once per frame object;
+// pooled frames keep them across recycling).
+func (fr *Frame) bindFns() {
+	fr.txFn = func() {
+		f := fr.fab
+		if fr.onTx != nil {
+			fr.onTx()
+		}
+		if f.cfg.CutThrough {
+			// Cut-through: the destination link streamed concurrently; the
+			// last byte arrives one hop latency + propagation after it left
+			// the source.
+			f.eng.After(f.cfg.HopLatency+f.cfg.PropDelay+fr.delay, "fabric.deliver", fr.dlvrFn)
+			if fr.dup {
+				f.duplicated++
+				f.eng.After(f.cfg.HopLatency+f.cfg.PropDelay+fr.delay+fr.ser, "fabric.deliver", fr.dlvrFn)
+			}
+			return
+		}
+		// Store-and-forward: the switch re-serializes onto the destination
+		// link (modeled with contention).
+		f.eng.After(f.cfg.HopLatency+fr.delay, "fabric.switch", fr.swFn)
+		if fr.dup {
+			f.duplicated++
+			f.eng.After(f.cfg.HopLatency+fr.delay, "fabric.switch", fr.swFn)
+		}
+	}
+	fr.swFn = func() {
+		fr.dport.down.Do(fr.ser, "fabric.fwd", fr.fwdFn)
+	}
+	fr.fwdFn = func() {
+		fr.fab.eng.After(fr.fab.cfg.PropDelay, "fabric.deliver", fr.dlvrFn)
+	}
+	fr.dlvrFn = func() {
+		fr.fab.deliver(fr.dport, fr)
+	}
+}
+
+// releasable and retainable are implemented by pooled payloads
+// (wire.Packet). The fabric releases a payload it swallows (drop, nil
+// handler, corruption replacement) and retains one it fans out
+// (duplication), keeping the reference count balanced without the fabric
+// knowing the payload type.
+type (
+	releasable interface{ Release() }
+	retainable interface{ Retain() }
+)
+
+func releasePayload(p any) {
+	if r, ok := p.(releasable); ok {
+		r.Release()
+	}
+}
+
+func retainPayload(p any) {
+	if r, ok := p.(retainable); ok {
+		r.Retain()
+	}
+}
+
+var framePool = sync.Pool{New: func() any { return new(Frame) }}
+
+// NewFrame builds a frame, drawn from a pool when datapath pooling is
+// enabled. Ownership passes to the fabric at Send; the fabric recycles the
+// frame after its final delivery, so handlers must not retain it.
+func NewFrame(src, dst, wireSize int, payload any) *Frame {
+	if !pool.Enabled() {
+		return &Frame{Src: src, Dst: dst, WireSize: wireSize, Payload: payload}
+	}
+	fr := framePool.Get().(*Frame)
+	*fr = Frame{
+		Src: src, Dst: dst, WireSize: wireSize, Payload: payload, pooled: true,
+		txFn: fr.txFn, swFn: fr.swFn, fwdFn: fr.fwdFn, dlvrFn: fr.dlvrFn,
+	}
+	return fr
+}
+
+// free recycles a pooled frame after its last delivery, keeping the bound
+// continuations for the next transit.
+func free(fr *Frame) {
+	if !fr.pooled {
+		return
+	}
+	txFn, swFn, fwdFn, dlvrFn := fr.txFn, fr.swFn, fr.fwdFn, fr.dlvrFn
+	*fr = Frame{txFn: txFn, swFn: swFn, fwdFn: fwdFn, dlvrFn: dlvrFn}
+	framePool.Put(fr)
 }
 
 // Handler receives delivered frames at an attachment.
@@ -159,60 +269,56 @@ func (f *Fabric) Send(frame *Frame, onTxDone func()) {
 	}
 	if fd.Drop {
 		// The wire still carries the frame to the point of loss; charge
-		// the sender's serialization but deliver nothing.
+		// the sender's serialization but deliver nothing. The payload dies
+		// here — nobody downstream will release it.
 		f.dropped++
 		f.ports[frame.Src].up.Do(f.serTime(netSize), "fabric.tx.dropped", onTxDone)
+		releasePayload(frame.Payload)
+		free(frame)
 		return
 	}
 	if fd.Replace != nil {
+		// The corrupted clone (deep-copied headers) travels instead; the
+		// original frame and its payload are consumed here.
 		f.corrupted++
+		releasePayload(frame.Payload)
+		free(frame)
 		frame = fd.Replace
+		frame.pooled = false
+		// A struct-copied clone carries the original's bound continuations,
+		// which capture the original (now freed) frame; rebind below.
+		frame.txFn, frame.swFn, frame.fwdFn, frame.dlvrFn = nil, nil, nil, nil
 	}
-	src, dst := f.ports[frame.Src], f.ports[frame.Dst]
-	ser := f.serTime(netSize)
-	src.up.Do(ser, "fabric.tx", func() {
-		if onTxDone != nil {
-			onTxDone()
-		}
-		if f.cfg.CutThrough {
-			// Cut-through: the destination link streamed concurrently;
-			// the last byte arrives one hop latency + propagation after
-			// it left the source.
-			send := func(extra sim.Time) {
-				f.eng.After(f.cfg.HopLatency+f.cfg.PropDelay+fd.ExtraDelay+extra, "fabric.deliver", func() {
-					f.deliver(dst, frame)
-				})
-			}
-			send(0)
-			if fd.Duplicate {
-				f.duplicated++
-				send(ser)
-			}
-			return
-		}
-		// Store-and-forward: the switch re-serializes onto the
-		// destination link (modeled with contention).
-		send := func() {
-			f.eng.After(f.cfg.HopLatency+fd.ExtraDelay, "fabric.switch", func() {
-				dst.down.Do(ser, "fabric.fwd", func() {
-					f.eng.After(f.cfg.PropDelay, "fabric.deliver", func() {
-						f.deliver(dst, frame)
-					})
-				})
-			})
-		}
-		send()
-		if fd.Duplicate {
-			f.duplicated++
-			send()
-		}
-	})
+	frame.deliveries = 1
+	if fd.Duplicate {
+		// Two deliveries share one payload; the extra reference balances
+		// the second consumer's release.
+		frame.deliveries = 2
+		retainPayload(frame.Payload)
+	}
+	src := f.ports[frame.Src]
+	frame.fab = f
+	frame.dport = f.ports[frame.Dst]
+	frame.onTx = onTxDone
+	frame.delay = fd.ExtraDelay
+	frame.ser = f.serTime(netSize)
+	frame.dup = fd.Duplicate
+	if frame.txFn == nil {
+		frame.bindFns()
+	}
+	src.up.Do(frame.ser, "fabric.tx", frame.txFn)
 }
 
 func (f *Fabric) deliver(p *port, frame *Frame) {
 	f.delivered++
 	if p.handler != nil {
 		p.handler(frame)
+	} else {
+		releasePayload(frame.Payload)
+	}
+	frame.deliveries--
+	if frame.deliveries <= 0 {
+		free(frame)
 	}
 }
 

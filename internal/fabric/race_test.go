@@ -1,0 +1,8 @@
+//go:build race
+
+package fabric
+
+// raceEnabled reports whether the race detector is active; its Pool
+// instrumentation intentionally drops recycles, so zero-alloc guards
+// cannot hold.
+const raceEnabled = true

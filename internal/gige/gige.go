@@ -76,12 +76,7 @@ func (d *Device) Transmit(pkt *wire.Packet, dstAtt int) {
 	d.txPkts++
 	d.txBytes += uint64(pkt.Len())
 	d.bus.DMA(pkt.Len(), d.cfg.Name+".txdma", func() {
-		d.fab.Send(&fabric.Frame{
-			Src:      d.att,
-			Dst:      dstAtt,
-			WireSize: pkt.Len() + params.EthernetOverhead,
-			Payload:  pkt,
-		}, nil)
+		d.fab.Send(fabric.NewFrame(d.att, dstAtt, pkt.Len()+params.EthernetOverhead, pkt), nil)
 	})
 }
 

@@ -116,12 +116,7 @@ func (d *Device) kickTx() {
 	d.txQ = d.txQ[1:]
 	d.lanai.Do(params.US(FwPerPacketUS), d.cfg.Name+".fw.tx", func() {
 		d.bus.BurstAt(it.pkt.Len(), params.GMDMABandwidth, d.cfg.Name+".txdma", func() {
-			d.fab.Send(&fabric.Frame{
-				Src:      d.att,
-				Dst:      it.dst,
-				WireSize: it.pkt.Len() + params.MyrinetHeaderBytes,
-				Payload:  it.pkt,
-			}, func() {
+			d.fab.Send(fabric.NewFrame(d.att, it.dst, it.pkt.Len()+params.MyrinetHeaderBytes, it.pkt), func() {
 				d.txBusy = false
 				d.kickTx()
 			})

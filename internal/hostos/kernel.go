@@ -15,6 +15,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/inet"
 	"repro/internal/params"
+	"repro/internal/pool"
 	"repro/internal/sim"
 	"repro/internal/tcp"
 	"repro/internal/trace"
@@ -193,23 +194,23 @@ func (k *Kernel) emitSegment(s *Socket, seg *tcp.Segment) {
 	cost := params.US(params.HostTCPOutputUS+params.HostSkbUS+params.HostDriverTxUS) +
 		perByte(params.HostChecksumCyclesPerByte, seg.Payload.Len())
 	k.charge(cost, "tcp_output", func() {
-		l4 := seg.MarshalHeader()
+		pkt := wire.Get()
+		pkt.IsV4 = true
+		l4 := seg.MarshalHeaderInto(pkt.L4Scratch())
 		tcp.SetChecksum(l4, inet.TransportChecksum4(k.addr, s.raddr, inet.ProtoTCP, l4, seg.Payload))
 		k.ipID++
-		pkt := &wire.Packet{
-			IsV4: true,
-			IPHdr: inet.Marshal4(&inet.Header4{
-				TotalLen: uint16(inet.IPv4HeaderLen + len(l4) + seg.Payload.Len()),
-				ID:       k.ipID,
-				DontFrag: true,
-				TTL:      64,
-				Protocol: inet.ProtoTCP,
-				Src:      k.addr,
-				Dst:      s.raddr,
-			}),
-			L4Hdr:   l4,
-			Payload: seg.Payload,
-		}
+		pkt.IPHdr = inet.Marshal4Into(&inet.Header4{
+			TotalLen: uint16(inet.IPv4HeaderLen + len(l4) + seg.Payload.Len()),
+			ID:       k.ipID,
+			DontFrag: true,
+			TTL:      64,
+			Protocol: inet.ProtoTCP,
+			Src:      k.addr,
+			Dst:      s.raddr,
+		}, pkt.IPScratch())
+		pkt.L4Hdr = l4
+		pkt.Payload = seg.Payload
+		seg.Release()
 		s.route.dev.Transmit(pkt, s.route.att)
 	})
 }
@@ -226,21 +227,20 @@ func (k *Kernel) emitUDP(s *Socket, payload buf.Buf, dst inet.Addr4, dstPort uin
 	cost := params.US(params.HostUDPOutputUS+params.HostSkbUS+params.HostDriverTxUS) +
 		perByte(params.HostChecksumCyclesPerByte, payload.Len())
 	k.charge(cost, "udp_output", func() {
-		l4 := udp.Marshal4(k.addr, dst, s.localPort, dstPort, payload)
+		pkt := wire.Get()
+		pkt.IsV4 = true
+		l4 := udp.Marshal4Into(k.addr, dst, s.localPort, dstPort, payload, pkt.L4Scratch())
 		k.ipID++
-		pkt := &wire.Packet{
-			IsV4: true,
-			IPHdr: inet.Marshal4(&inet.Header4{
-				TotalLen: uint16(inet.IPv4HeaderLen + len(l4) + payload.Len()),
-				ID:       k.ipID,
-				TTL:      64,
-				Protocol: inet.ProtoUDP,
-				Src:      k.addr,
-				Dst:      dst,
-			}),
-			L4Hdr:   l4,
-			Payload: payload,
-		}
+		pkt.IPHdr = inet.Marshal4Into(&inet.Header4{
+			TotalLen: uint16(inet.IPv4HeaderLen + len(l4) + payload.Len()),
+			ID:       k.ipID,
+			TTL:      64,
+			Protocol: inet.ProtoUDP,
+			Src:      k.addr,
+			Dst:      dst,
+		}, pkt.IPScratch())
+		pkt.L4Hdr = l4
+		pkt.Payload = payload
 		r.dev.Transmit(pkt, r.att)
 	})
 	return nil
@@ -262,6 +262,7 @@ func (k *Kernel) inputPacket(pkt *wire.Packet) {
 	if err != nil {
 		k.stats.ChecksumErrors++
 		k.Net.Add("rx.corrupt", 1)
+		pkt.Release()
 		return
 	}
 	switch ip4.Protocol {
@@ -271,6 +272,7 @@ func (k *Kernel) inputPacket(pkt *wire.Packet) {
 		k.inputUDP(&ip4, pkt)
 	default:
 		k.stats.DroppedNoPort++
+		pkt.Release()
 	}
 }
 
@@ -279,6 +281,7 @@ func (k *Kernel) inputTCP(ip4 *inet.Header4, pkt *wire.Packet) {
 	if err != nil {
 		k.stats.ChecksumErrors++
 		k.Net.Add("rx.corrupt", 1)
+		pkt.Release()
 		return
 	}
 	seg.Payload = pkt.Payload
@@ -293,6 +296,9 @@ func (k *Kernel) inputTCP(ip4 *inet.Header4, pkt *wire.Packet) {
 		k.stats.AcksProcessed++
 	}
 	k.charge(verify+procCost, "tcp_input", func() {
+		// Delivered data holds its own Buf values; the packet (headers +
+		// scratch) dies when this closure returns.
+		defer pkt.Release()
 		sum := inet.PseudoSum4(ip4.Src, ip4.Dst, inet.ProtoTCP, len(pkt.L4Hdr)+pkt.Payload.Len())
 		sum = inet.Sum(sum, pkt.L4Hdr)
 		sum = inet.SumBuf(sum, pkt.Payload)
@@ -322,10 +328,12 @@ func (k *Kernel) inputUDP(ip4 *inet.Header4, pkt *wire.Packet) {
 	if err != nil || plen != pkt.Payload.Len() {
 		k.stats.ChecksumErrors++
 		k.Net.Add("rx.corrupt", 1)
+		pkt.Release()
 		return
 	}
 	verify := perByte(params.HostChecksumCyclesPerByte, len(pkt.L4Hdr)+pkt.Payload.Len())
 	k.charge(verify+params.US(params.HostUDPInputUS+params.HostSkbUS), "udp_input", func() {
+		defer pkt.Release()
 		if udp.Verify4(ip4.Src, ip4.Dst, pkt.L4Hdr, pkt.Payload) != nil {
 			k.stats.ChecksumErrors++
 			k.Net.Add("rx.corrupt", 1)
@@ -360,6 +368,9 @@ func (k *Kernel) acceptSYN(seg *tcp.Segment, ip4 *inet.Header4) {
 	child.raddr, child.rport = ip4.Src, seg.SrcPort
 	child.route = r
 	child.conn = tcp.NewConn(k.connConfig(seg.DstPort, seg.SrcPort, r.dev.MTU(), lst.noDelay))
+	// The kernel consumes every Actions before re-entering the TCB, so the
+	// action slices can live in per-conn reusable buffers.
+	child.conn.ReuseActionBuffers(pool.Enabled())
 	k.tcpConns[tcpKey{seg.DstPort, ip4.Src, seg.SrcPort}] = child
 	now := int64(k.eng.Now())
 	acts, err := child.conn.AcceptSYN(seg, now)

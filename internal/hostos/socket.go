@@ -7,6 +7,7 @@ import (
 	"repro/internal/buf"
 	"repro/internal/inet"
 	"repro/internal/params"
+	"repro/internal/pool"
 	"repro/internal/sim"
 	"repro/internal/tcp"
 )
@@ -139,6 +140,7 @@ func (s *Socket) Connect(p *sim.Proc, raddr inet.Addr4, rport uint16) error {
 	s.raddr, s.rport = raddr, rport
 	s.localPort = s.k.allocPort()
 	s.conn = tcp.NewConn(s.k.connConfig(s.localPort, rport, r.dev.MTU(), s.noDelay))
+	s.conn.ReuseActionBuffers(pool.Enabled())
 	s.k.tcpConns[tcpKey{s.localPort, raddr, rport}] = s
 	now := int64(s.k.eng.Now())
 	acts, err := s.conn.Connect(now)

@@ -87,7 +87,10 @@ func (p *PCIBus) Stats() (transfers, bytes uint64) { return p.transfers, p.bytes
 // drops the ring — the driver layer must size queues to prevent that, and
 // the counter makes such bugs visible.
 type Doorbell struct {
+	// fifo drains through head so the steady-state ring/pop cycle reuses
+	// one backing array.
 	fifo     []uint64
+	head     int
 	capacity int
 	// OnRing, when set, is invoked (in simulation context) whenever a
 	// token lands in an empty FIFO — the firmware's wakeup edge.
@@ -107,12 +110,12 @@ func NewDoorbell(capacity int) *Doorbell {
 // Ring enqueues a token (already across the bus). It reports false and
 // counts a drop when the FIFO is full.
 func (d *Doorbell) Ring(token uint64) bool {
-	if len(d.fifo) >= d.capacity {
+	if d.Len() >= d.capacity {
 		d.drops++
 		return false
 	}
 	d.rings++
-	wasEmpty := len(d.fifo) == 0
+	wasEmpty := d.Len() == 0
 	d.fifo = append(d.fifo, token)
 	if wasEmpty && d.OnRing != nil {
 		d.OnRing()
@@ -122,16 +125,19 @@ func (d *Doorbell) Ring(token uint64) bool {
 
 // Pop dequeues the oldest token.
 func (d *Doorbell) Pop() (uint64, bool) {
-	if len(d.fifo) == 0 {
+	if d.head >= len(d.fifo) {
 		return 0, false
 	}
-	t := d.fifo[0]
-	d.fifo = d.fifo[1:]
+	t := d.fifo[d.head]
+	d.head++
+	if d.head == len(d.fifo) {
+		d.fifo, d.head = d.fifo[:0], 0
+	}
 	return t, true
 }
 
 // Len reports queued tokens.
-func (d *Doorbell) Len() int { return len(d.fifo) }
+func (d *Doorbell) Len() int { return len(d.fifo) - d.head }
 
 // Drops reports rings lost to a full FIFO.
 func (d *Doorbell) Drops() uint64 { return d.drops }

@@ -28,7 +28,14 @@ type Header4 struct {
 // Marshal4 serializes h into a fresh 20-byte slice with a correct header
 // checksum.
 func Marshal4(h *Header4) []byte {
-	b := make([]byte, IPv4HeaderLen)
+	return Marshal4Into(h, make([]byte, IPv4HeaderLen))
+}
+
+// Marshal4Into serializes h into b, which must hold at least IPv4HeaderLen
+// bytes, and returns the header slice of b. Hot paths pass per-packet
+// scratch space to avoid the allocation in Marshal4.
+func Marshal4Into(h *Header4, b []byte) []byte {
+	b = b[:IPv4HeaderLen]
 	b[0] = 4<<4 | IPv4HeaderLen/4
 	b[1] = h.TOS
 	binary.BigEndian.PutUint16(b[2:], h.TotalLen)
@@ -43,6 +50,7 @@ func Marshal4(h *Header4) []byte {
 	binary.BigEndian.PutUint16(b[6:], frag)
 	b[8] = h.TTL
 	b[9] = h.Protocol
+	b[10], b[11] = 0, 0 // checksum field must be zero while summing
 	copy(b[12:16], h.Src[:])
 	copy(b[16:20], h.Dst[:])
 	binary.BigEndian.PutUint16(b[10:], Checksum(b))

@@ -28,7 +28,14 @@ type Header6 struct {
 
 // Marshal6 serializes h into a fresh 40-byte slice.
 func Marshal6(h *Header6) []byte {
-	b := make([]byte, IPv6HeaderLen)
+	return Marshal6Into(h, make([]byte, IPv6HeaderLen))
+}
+
+// Marshal6Into serializes h into b, which must hold at least IPv6HeaderLen
+// bytes, and returns the header slice of b. Hot paths pass per-packet
+// scratch space to avoid the allocation in Marshal6.
+func Marshal6Into(h *Header6, b []byte) []byte {
+	b = b[:IPv6HeaderLen]
 	b[0] = 6<<4 | h.TrafficClass>>4
 	b[1] = h.TrafficClass<<4 | byte(h.FlowLabel>>16&0x0f)
 	b[2] = byte(h.FlowLabel >> 8)

@@ -28,6 +28,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/inet"
 	"repro/internal/params"
+	"repro/internal/pool"
 	"repro/internal/sim"
 	"repro/internal/tcp"
 	"repro/internal/trace"
@@ -110,13 +111,61 @@ type qpState struct {
 
 	// sendIDs holds WR IDs of messages accepted by the TCB, in order;
 	// TCP completions pop from the front as records are acknowledged.
-	sendIDs []uint64
+	// Both sendIDs and stash drain through head indices so steady-state
+	// traffic reuses one backing array instead of re-slicing per record.
+	sendIDs  []uint64
+	sendHead int
 	// pendingWRs counts doorbell tokens not yet consumed by the
 	// transmit FSM.
 	pendingWRs int
 	stash      []stashedRec
+	stashHead  int
 	timer      *sim.Event
 	peerClosed bool
+
+	// Pre-bound callbacks (set at QP creation) so the hot doorbell,
+	// receive-posted, and timer paths never allocate a closure.
+	timerFn func()
+	ringFn  func()
+	recvFn  func()
+}
+
+func (qs *qpState) pushSendID(id uint64) { qs.sendIDs = append(qs.sendIDs, id) }
+
+// popLastSendID undoes the most recent push (TCB refused the message).
+func (qs *qpState) popLastSendID() { qs.sendIDs = qs.sendIDs[:len(qs.sendIDs)-1] }
+
+func (qs *qpState) popSendID() (uint64, bool) {
+	if qs.sendHead >= len(qs.sendIDs) {
+		return 0, false
+	}
+	id := qs.sendIDs[qs.sendHead]
+	qs.sendHead++
+	if qs.sendHead == len(qs.sendIDs) {
+		qs.sendIDs, qs.sendHead = qs.sendIDs[:0], 0
+	}
+	return id, true
+}
+
+func (qs *qpState) stashLen() int { return len(qs.stash) - qs.stashHead }
+
+func (qs *qpState) pushStash(rec buf.Buf) {
+	qs.stash = append(qs.stash, stashedRec{payload: rec})
+}
+
+func (qs *qpState) peekStash() (buf.Buf, bool) {
+	if qs.stashHead >= len(qs.stash) {
+		return buf.Empty, false
+	}
+	return qs.stash[qs.stashHead].payload, true
+}
+
+func (qs *qpState) popStash() {
+	qs.stash[qs.stashHead] = stashedRec{}
+	qs.stashHead++
+	if qs.stashHead == len(qs.stash) {
+		qs.stash, qs.stashHead = qs.stash[:0], 0
+	}
 }
 
 // Stats counts adapter-level events.
@@ -149,9 +198,16 @@ type NIC struct {
 	nextEphem uint16
 	issCount  uint32
 
-	// Transmit FSM scheduler.
-	txQ    []txWork
-	txBusy bool
+	// Transmit FSM scheduler. txQ drains through txQHead (see kickTx);
+	// txDoneFn is the one per-adapter work-completion callback.
+	txQ      []txWork
+	txQHead  int
+	txBusy   bool
+	txDoneFn func()
+
+	// Pooled FSM stage runners and their pre-resolved stage templates.
+	chainTemplates
+	chainFree []*chainRun
 
 	// Per-stage occupancy, split by the four table columns.
 	TxData, TxAck, RxData, RxAck *trace.Stages
@@ -183,6 +239,11 @@ func New(eng *sim.Engine, fab *fabric.Fabric, cfg Config) *NIC {
 		RxData:    trace.NewStages(),
 		RxAck:     trace.NewStages(),
 		Net:       trace.NewCounters(),
+	}
+	n.initTemplates()
+	n.txDoneFn = func() {
+		n.txBusy = false
+		n.kickTx()
 	}
 	n.att = fab.Attach(n.receiveFrame)
 	n.db.OnRing = n.onDoorbell
@@ -246,7 +307,18 @@ func (n *NIC) CreateQP(qp *verbs.QP) error {
 		n.Net.Add("mgmt.qp-refused", 1)
 		return verbs.ErrNoResources
 	}
-	n.qps[qp.QPN] = &qpState{qp: qp}
+	qs := &qpState{qp: qp}
+	qs.timerFn = func() { n.onQPTimer(qs) }
+	qs.ringFn = func() { n.db.Ring(uint64(qp.QPN)) }
+	qs.recvFn = func() {
+		// The QP may have been destroyed while the PIO write was in
+		// flight; the state entry is only live while it's still mapped.
+		if n.qps[qp.QPN] != qs {
+			return
+		}
+		n.drainStashAndUpdate(qs)
+	}
+	n.qps[qp.QPN] = qs
 	return nil
 }
 
@@ -340,6 +412,7 @@ func (n *NIC) Connect(qp *verbs.QP, raddr inet.Addr6, rport uint16) error {
 	qs.localPort = n.allocTCPPort()
 	qs.remoteAddr, qs.remotePort, qs.remoteAtt = raddr, rport, att
 	qs.conn = tcp.NewConn(n.connConfig(qs.localPort, rport))
+	qs.conn.ReuseActionBuffers(pool.Enabled())
 	n.tcpConns[tcpKey{qs.localPort, raddr, rport}] = qs
 	now := int64(n.eng.Now())
 	acts, err := qs.conn.Connect(now)
@@ -367,6 +440,10 @@ func (n *NIC) Listen(port uint16) (*verbs.Listener, error) {
 // SendDoorbell implements verbs.Device: the host's posting method rings
 // the hardware doorbell; the write crosses the PCI bus into the FIFO.
 func (n *NIC) SendDoorbell(qp *verbs.QP) {
+	if qs := n.qps[qp.QPN]; qs != nil {
+		n.cfg.Bus.PIOWrite("doorbell", qs.ringFn)
+		return
+	}
 	n.cfg.Bus.PIOWrite("doorbell", func() {
 		n.db.Ring(uint64(qp.QPN))
 	})
@@ -376,13 +453,11 @@ func (n *NIC) SendDoorbell(qp *verbs.QP) {
 // The notification crosses the bus like a doorbell; the firmware grows
 // the TCP receive window accordingly and drains any stashed records.
 func (n *NIC) RecvPosted(qp *verbs.QP) {
-	n.cfg.Bus.PIOWrite("recv-doorbell", func() {
-		qs := n.qps[qp.QPN]
-		if qs == nil {
-			return
-		}
-		n.drainStash(qs, func() { n.updateWindow(qs) })
-	})
+	if qs := n.qps[qp.QPN]; qs != nil {
+		n.cfg.Bus.PIOWrite("recv-doorbell", qs.recvFn)
+		return
+	}
+	n.cfg.Bus.PIOWrite("recv-doorbell", nil)
 }
 
 // updateWindow re-advertises the window from posted WR capacity.
@@ -422,9 +497,9 @@ func (n *NIC) failQP(qs *qpState, err error, status verbs.Status) {
 		qs.timer.Cancel()
 		qs.timer = nil
 	}
-	ids := qs.sendIDs
-	qs.sendIDs = nil
-	qs.stash = nil
+	ids := qs.sendIDs[qs.sendHead:]
+	qs.sendIDs, qs.sendHead = nil, 0
+	qs.stash, qs.stashHead = nil, 0
 	n.notifyHost(func() {
 		for _, id := range ids {
 			qs.qp.CompleteSend(id, status, 0)

@@ -3,11 +3,9 @@ package qpipnic
 import (
 	"repro/internal/fabric"
 	"repro/internal/inet"
+	"repro/internal/pool"
 	"repro/internal/tcp"
-	"repro/internal/udp"
 	"repro/internal/wire"
-
-	"repro/internal/params"
 )
 
 // This file is the receive FSM (paper §3.1, Figure 2 right): media
@@ -15,95 +13,48 @@ import (
 // estimator multiplies run in software on the LANai), then Get WR / Put
 // Data / Update for delivered messages. "A pure TCP acknowledgement is
 // simply a special case of a regular data receive operation, except that
-// no data is delivered to the application" (paper §3.1).
+// no data is delivered to the application" (paper §3.1). The stage
+// sequences themselves run on the pooled chain runners (chain.go): Media
+// Rcv / IP Parse / checksum, then an in-runner dispatch to the transport
+// parse stage and body.
 
 // receiveFrame is the fabric delivery handler.
 func (n *NIC) receiveFrame(f *fabric.Frame) {
 	pkt, ok := f.Payload.(*wire.Packet)
-	if !ok || pkt.IsV4 {
+	if !ok {
+		return // not for this stack
+	}
+	if pkt.IsV4 {
+		pkt.Release()
 		return // not for this stack
 	}
 	ip6, err := inet.Parse6(pkt.IPHdr)
 	if err != nil {
 		n.stats.ChecksumErrors++
 		n.Net.Add("rx.corrupt", 1)
+		pkt.Release()
 		return
 	}
-	l4len := len(pkt.L4Hdr) + pkt.Payload.Len()
-	isData := pkt.Payload.Len() > 0
-	set := n.RxData
-	if ip6.NextHeader == inet.ProtoTCP && !isData {
-		set = n.RxAck
+	tpl := n.rxData[:]
+	if ip6.NextHeader == inet.ProtoTCP && pkt.Payload.Len() == 0 {
+		tpl = n.rxAck[:]
 	}
-	chain([]step{
-		n.cpuStage(set, "Media Rcv", params.RxMediaRcvUS),
-		n.cpuStage(set, "IP Parse", params.RxIPParseUS),
-		n.checksumStage(set, l4len),
-	}, func() {
-		switch ip6.NextHeader {
-		case inet.ProtoTCP:
-			n.receiveTCP(&ip6, pkt)
-		case inet.ProtoUDP:
-			n.receiveUDP(&ip6, pkt)
-		default:
-			n.stats.NoPortDrops++
-			n.Net.Add("rx.drop.no-port", 1)
-		}
-	})
+	cr := n.getChain(nil)
+	cr.use(tpl)
+	cr.pkt = pkt
+	cr.ip6 = ip6
+	cr.bytes = len(pkt.L4Hdr) + pkt.Payload.Len()
+	cr.run()
 }
 
 // verifyTransport checks the real end-to-end checksum. The verification
-// itself is hardware-assisted or already charged by checksumStage; here
-// only correctness is at stake.
+// itself is hardware-assisted or already charged by the checksum stage;
+// here only correctness is at stake.
 func (n *NIC) verifyTransport(ip6 *inet.Header6, pkt *wire.Packet) bool {
 	sum := inet.PseudoSum6(ip6.Src, ip6.Dst, ip6.NextHeader, len(pkt.L4Hdr)+pkt.Payload.Len())
 	sum = inet.Sum(sum, pkt.L4Hdr)
 	sum = inet.SumBuf(sum, pkt.Payload)
 	return inet.Fold(sum) == 0xffff
-}
-
-// receiveTCP runs TCP Parse and the TCB input processing.
-func (n *NIC) receiveTCP(ip6 *inet.Header6, pkt *wire.Packet) {
-	seg, _, err := tcp.ParseHeader(pkt.L4Hdr)
-	if err != nil {
-		n.stats.ChecksumErrors++
-		n.Net.Add("rx.corrupt", 1)
-		return
-	}
-	seg.Payload = pkt.Payload
-	isData := pkt.Payload.Len() > 0
-	set, cost := n.RxAck, params.RxTCPParseAckUS
-	if isData {
-		set, cost = n.RxData, params.RxTCPParseDataUS
-		n.stats.DataRecvs++
-	} else {
-		n.stats.AckRecvs++
-	}
-	chain([]step{n.cpuStage(set, "TCP Parse", cost)}, func() {
-		if !n.verifyTransport(ip6, pkt) {
-			n.stats.ChecksumErrors++
-			n.Net.Add("rx.corrupt", 1)
-			return
-		}
-		key := tcpKey{seg.DstPort, ip6.Src, seg.SrcPort}
-		qs := n.tcpConns[key]
-		if qs == nil {
-			// New connection? "the client ... initiates a connection to
-			// the server that mates the connection to an idle QP in the
-			// server application" (paper §3).
-			if seg.Flags.Has(tcp.SYN) && !seg.Flags.Has(tcp.ACK) {
-				n.acceptSYN(&seg, ip6)
-				return
-			}
-			n.stats.NoPortDrops++
-			n.Net.Add("rx.drop.no-port", 1)
-			return
-		}
-		now := int64(n.eng.Now())
-		acts := qs.conn.Input(&seg, now)
-		n.syncTimer(qs)
-		n.handleActionsChain(qs, acts, nil)
-	})
 }
 
 // acceptSYN mates an incoming connection to an idle QP on the listener.
@@ -136,6 +87,9 @@ func (n *NIC) acceptSYN(seg *tcp.Segment, ip6 *inet.Header6) {
 	qs.localPort = seg.DstPort
 	qs.remoteAddr, qs.remotePort, qs.remoteAtt = ip6.Src, seg.SrcPort, att
 	qs.conn = tcp.NewConn(n.connConfig(seg.DstPort, seg.SrcPort))
+	// The firmware consumes every Actions before re-entering the TCB, so
+	// the action slices can live in per-conn reusable buffers.
+	qs.conn.ReuseActionBuffers(pool.Enabled())
 	// Receive WRs may already be posted on the parked QP.
 	qs.conn.SetRecvWindow(qp.PostedRecvBytes(), int64(n.eng.Now()))
 	n.tcpConns[tcpKey{seg.DstPort, ip6.Src, seg.SrcPort}] = qs
@@ -165,36 +119,4 @@ func (n *NIC) sendRST(seg *tcp.Segment, src inet.Addr6) {
 	}
 	tmp := &qpState{localPort: seg.DstPort, remoteAddr: src, remotePort: seg.SrcPort, remoteAtt: att}
 	n.enqueueTx(txWork{qs: tmp, seg: rst})
-}
-
-// receiveUDP parses and delivers one datagram. Datagrams arriving with no
-// posted receive WR are dropped — UDP QPs are unreliable by contract.
-func (n *NIC) receiveUDP(ip6 *inet.Header6, pkt *wire.Packet) {
-	h, plen, err := udp.Parse(pkt.L4Hdr)
-	if err != nil || plen != pkt.Payload.Len() {
-		n.stats.ChecksumErrors++
-		n.Net.Add("rx.corrupt", 1)
-		return
-	}
-	n.stats.UDPRecvs++
-	chain([]step{n.cpuStage(n.RxData, "UDP Parse", params.RxUDPParseUS)}, func() {
-		if udp.Verify6(ip6.Src, ip6.Dst, pkt.L4Hdr, pkt.Payload) != nil {
-			n.stats.ChecksumErrors++
-			n.Net.Add("rx.corrupt", 1)
-			return
-		}
-		qs, ok := n.udpPorts.Lookup(h.DstPort)
-		if !ok {
-			n.stats.NoPortDrops++
-			n.Net.Add("rx.drop.no-port", 1)
-			return
-		}
-		wr, ok := qs.qp.TakeRecvWR()
-		if !ok {
-			n.stats.NoWRDrops++
-			n.Net.Add("rx.drop.no-wr", 1)
-			return
-		}
-		n.placeRecord(qs, wr, pkt.Payload, ip6.Src, h.SrcPort, nil)
-	})
 }

@@ -2,12 +2,9 @@ package qpipnic
 
 import (
 	"repro/internal/buf"
-	"repro/internal/fabric"
 	"repro/internal/inet"
-	"repro/internal/params"
 	"repro/internal/sim"
 	"repro/internal/tcp"
-	"repro/internal/trace"
 	"repro/internal/udp"
 	"repro/internal/verbs"
 	"repro/internal/wire"
@@ -18,65 +15,8 @@ import (
 // fetch data, build TCP/UDP and IP headers, inject, update state. The
 // prototype's loop did not overlap the network send DMA with the next
 // item, which is what bounds its large-MTU throughput; Config.PipelinedTX
-// flips that for the ablation bench.
-
-// step is one stage of a firmware chain; it must call next exactly once.
-type step func(next func())
-
-// chain runs steps sequentially, then done (which may be nil).
-func chain(steps []step, done func()) {
-	i := 0
-	var run func()
-	run = func() {
-		if i >= len(steps) {
-			if done != nil {
-				done()
-			}
-			return
-		}
-		s := steps[i]
-		i++
-		s(run)
-	}
-	run()
-}
-
-// cpuStage charges the firmware CPU for a fixed-cost stage and records it.
-func (n *NIC) cpuStage(set *trace.Stages, name string, us float64) step {
-	return func(next func()) {
-		d := params.US(us)
-		set.Add(name, d)
-		n.cpu.Do(d, name, next)
-	}
-}
-
-// dmaStage moves payload across the PCI bus after a fixed CPU setup cost.
-// The recorded stage time is the stage's own service time (CPU + DMA
-// transfer), excluding queueing behind unrelated bus traffic — the
-// quantity the paper's per-stage cycle counts correspond to.
-func (n *NIC) dmaStage(set *trace.Stages, name string, us float64, bytes int) step {
-	return func(next func()) {
-		dma := sim.Time(float64(bytes) * 1e9 / params.LANaiDMABandwidth)
-		set.Add(name, params.US(us)+dma)
-		n.cpu.Do(params.US(us), name, func() {
-			n.cfg.Bus.BurstAt(bytes, params.LANaiDMABandwidth, name+".dma", next)
-		})
-	}
-}
-
-// checksumStage charges the firmware checksum loop when the adapter runs
-// in firmware-checksum mode.
-func (n *NIC) checksumStage(set *trace.Stages, bytes int) step {
-	return func(next func()) {
-		if n.cfg.Checksum != ChecksumFirmware {
-			next()
-			return
-		}
-		d := params.NICCycles(params.FirmwareChecksumCyclesPerByte * float64(bytes))
-		set.Add("Checksum (fw)", d)
-		n.cpu.Do(d, "fw-checksum", next)
-	}
-}
+// flips that for the ablation bench. Stage sequences execute on the pooled
+// chain runners in chain.go.
 
 // txWork is one scheduler queue entry.
 type txWork struct {
@@ -92,18 +32,21 @@ func (n *NIC) enqueueTx(w txWork) {
 	n.kickTx()
 }
 
-// kickTx runs the scheduler if idle.
+// kickTx runs the scheduler if idle. The queue drains through a head index
+// so steady-state traffic reuses one backing array instead of re-slicing
+// (and re-growing) per work item.
 func (n *NIC) kickTx() {
-	if n.txBusy || len(n.txQ) == 0 {
+	if n.txBusy || n.txQHead >= len(n.txQ) {
 		return
 	}
 	n.txBusy = true
-	w := n.txQ[0]
-	n.txQ = n.txQ[1:]
-	n.runTxWork(w, func() {
-		n.txBusy = false
-		n.kickTx()
-	})
+	w := n.txQ[n.txQHead]
+	n.txQ[n.txQHead] = txWork{}
+	n.txQHead++
+	if n.txQHead == len(n.txQ) {
+		n.txQ, n.txQHead = n.txQ[:0], 0
+	}
+	n.runTxWork(w, n.txDoneFn)
 }
 
 // onDoorbell is the doorbell FSM wakeup: drain the FIFO, mark QPs.
@@ -132,40 +75,27 @@ func (n *NIC) runTxWork(w txWork, done func()) {
 }
 
 // consumeSendWR processes one posted send WR: Doorbell Process, Schedule,
-// Get WR, then hand the message to the transport.
+// Get WR, then hand the message to the transport (the stTxWR stage).
 func (n *NIC) consumeSendWR(qs *qpState, done func()) {
 	if qs.pendingWRs <= 0 || n.qps[qs.qp.QPN] == nil {
 		done()
 		return
 	}
 	qs.pendingWRs--
-	set := n.TxData
-	chain([]step{
-		n.cpuStage(set, "Doorbell Process", params.TxDoorbellProcUS),
-		n.cpuStage(set, "Schedule", params.TxScheduleUS),
-		n.cpuStage(set, "Get WR", params.TxGetWRUS),
-	}, func() {
-		wr, ok := qs.qp.TakeSendWR()
-		if !ok {
-			done()
-			return
-		}
-		if qs.conn != nil {
-			n.sendTCPMessage(qs, wr, done)
-		} else {
-			n.sendUDPMessage(qs, wr, done)
-		}
-	})
+	cr := n.getChain(done)
+	cr.use(n.txWR[:])
+	cr.qs = qs
+	cr.run()
 }
 
 // sendTCPMessage feeds one message into the TCB; segments the window
 // admits transmit inline.
 func (n *NIC) sendTCPMessage(qs *qpState, wr verbs.SendWR, done func()) {
 	now := int64(n.eng.Now())
-	qs.sendIDs = append(qs.sendIDs, wr.ID)
+	qs.pushSendID(wr.ID)
 	acts, err := qs.conn.Send(wr.Payload, now)
 	if err != nil {
-		qs.sendIDs = qs.sendIDs[:len(qs.sendIDs)-1]
+		qs.popLastSendID()
 		qs.qp.CompleteSend(wr.ID, verbs.StatusRemoteError, 0)
 		done()
 		return
@@ -185,39 +115,33 @@ func (n *NIC) sendUDPMessage(qs *qpState, wr verbs.SendWR, done func()) {
 		done()
 		return
 	}
-	set := n.TxData
 	n.stats.UDPSends++
-	l4 := udp.Marshal6(n.cfg.Addr, wr.RemoteAddr, qs.localPort, wr.RemotePort, wr.Payload)
-	pkt := &wire.Packet{
-		IPHdr: inet.Marshal6(&inet.Header6{
-			PayloadLength: uint16(len(l4) + wr.Payload.Len()),
-			NextHeader:    inet.ProtoUDP,
-			HopLimit:      inet.DefaultHopLimit,
-			Src:           n.cfg.Addr,
-			Dst:           wr.RemoteAddr,
-		}),
-		L4Hdr:   l4,
-		Payload: wr.Payload,
-	}
-	chain([]step{
-		n.dmaStage(set, "Get Data", params.TxGetDataUS, wr.Payload.Len()),
-		n.cpuStage(set, "Build UDP Hdr", params.TxBuildUDPHdrUS),
-		n.cpuStage(set, "Build IP Hdr", params.TxBuildIPHdrUS),
-		n.mediaXmt(set, att, pkt),
-		n.cpuStage(set, "Update", params.TxUpdateUS),
-	}, func() {
-		qs.qp.CompleteSend(wr.ID, verbs.StatusSuccess, wr.Payload.Len())
-		done()
-	})
+	pkt := wire.Get()
+	l4 := udp.Marshal6Into(n.cfg.Addr, wr.RemoteAddr, qs.localPort, wr.RemotePort, wr.Payload, pkt.L4Scratch())
+	pkt.IPHdr = inet.Marshal6Into(&inet.Header6{
+		PayloadLength: uint16(len(l4) + wr.Payload.Len()),
+		NextHeader:    inet.ProtoUDP,
+		HopLimit:      inet.DefaultHopLimit,
+		Src:           n.cfg.Addr,
+		Dst:           wr.RemoteAddr,
+	}, pkt.IPScratch())
+	pkt.L4Hdr = l4
+	pkt.Payload = wr.Payload
+	cr := n.getChain(done)
+	cr.use(n.udpSend[:])
+	cr.qs = qs
+	cr.pkt = pkt
+	cr.att = att
+	cr.bytes = wr.Payload.Len()
+	cr.wrID = wr.ID
+	cr.run()
 }
 
 // sendSegment transmits one ready TCP segment (scheduler path for acks,
 // retransmissions and window-opened data).
 func (n *NIC) sendSegment(qs *qpState, seg *tcp.Segment, done func()) {
 	isData := seg.Payload.Len() > 0
-	set := n.TxAck
 	if isData {
-		set = n.TxData
 		n.stats.DataSends++
 	} else {
 		n.stats.AckSends++
@@ -226,59 +150,32 @@ func (n *NIC) sendSegment(qs *qpState, seg *tcp.Segment, done func()) {
 	// Build the real headers. The transmit-side transport checksum is
 	// computed by the DMA engine hardware (paper §4.1), so it costs the
 	// firmware nothing here.
-	l4 := seg.MarshalHeader()
+	pkt := wire.Get()
+	l4 := seg.MarshalHeaderInto(pkt.L4Scratch())
 	tcp.SetChecksum(l4, inet.TransportChecksum6(n.cfg.Addr, qs.remoteAddr, inet.ProtoTCP, l4, seg.Payload))
-	pkt := &wire.Packet{
-		IPHdr: inet.Marshal6(&inet.Header6{
-			PayloadLength: uint16(len(l4) + seg.Payload.Len()),
-			NextHeader:    inet.ProtoTCP,
-			HopLimit:      inet.DefaultHopLimit,
-			Src:           n.cfg.Addr,
-			Dst:           qs.remoteAddr,
-		}),
-		L4Hdr:   l4,
-		Payload: seg.Payload,
-	}
+	pkt.IPHdr = inet.Marshal6Into(&inet.Header6{
+		PayloadLength: uint16(len(l4) + seg.Payload.Len()),
+		NextHeader:    inet.ProtoTCP,
+		HopLimit:      inet.DefaultHopLimit,
+		Src:           n.cfg.Addr,
+		Dst:           qs.remoteAddr,
+	}, pkt.IPScratch())
+	pkt.L4Hdr = l4
+	pkt.Payload = seg.Payload
 
-	steps := []step{
-		n.cpuStage(set, "Doorbell Process", params.TxDoorbellProcUS),
-		n.cpuStage(set, "Schedule", params.TxScheduleUS),
-	}
+	cr := n.getChain(done)
 	if isData {
-		steps = append(steps, n.dmaStage(set, "Get Data", params.TxGetDataUS, seg.Payload.Len()))
+		cr.use(n.segData[:])
+	} else {
+		cr.use(n.segAck[:])
 	}
-	steps = append(steps,
-		n.cpuStage(set, "Build TCP Hdr", params.TxBuildTCPHdrUS),
-		n.cpuStage(set, "Build IP Hdr", params.TxBuildIPHdrUS),
-		n.mediaXmt(set, qs.remoteAtt, pkt),
-		n.cpuStage(set, "Update", params.TxUpdateUS),
-	)
-	chain(steps, done)
-}
-
-// mediaXmt injects a packet into the fabric. The Send stage cost covers
-// programming the network send engine; unless PipelinedTX is set the
-// scheduler then waits for the engine to finish serializing — the
-// prototype's behaviour.
-func (n *NIC) mediaXmt(set *trace.Stages, att int, pkt *wire.Packet) step {
-	return func(next func()) {
-		d := params.US(params.TxSendUS)
-		set.Add("Send", d)
-		n.cpu.Do(d, "Send", func() {
-			frame := &fabric.Frame{
-				Src:      n.att,
-				Dst:      att,
-				WireSize: pkt.Len() + params.MyrinetHeaderBytes,
-				Payload:  pkt,
-			}
-			if n.cfg.PipelinedTX {
-				n.fab.Send(frame, nil)
-				next()
-			} else {
-				n.fab.Send(frame, next)
-			}
-		})
-	}
+	cr.pkt = pkt
+	cr.att = qs.remoteAtt
+	cr.bytes = seg.Payload.Len()
+	// The header bytes and payload handle now live in pkt; the segment
+	// itself is dead and can go back to its pool before the chain runs.
+	seg.Release()
+	cr.run()
 }
 
 // ---- TCB action plumbing. ----
@@ -297,141 +194,93 @@ func (n *NIC) handleActionsChain(qs *qpState, acts tcp.Actions, done func()) {
 	for _, seg := range acts.Segments {
 		n.enqueueTx(txWork{qs: qs, seg: seg})
 	}
-	var steps []step
-	// Send completions: "This WR completes when all the data for that
-	// message is acknowledged by the destination" (paper §3).
-	for i := 0; i < acts.AckedRecords; i++ {
-		steps = append(steps, n.completeSendStep(qs))
-	}
-	// Delivered records enter the SRAM stash *now*, synchronously, so the
-	// TCB's delivery order is pinned before any chained stage runs —
-	// concurrent receive chains must not transpose records. The chained
-	// step then drains the stash into posted receive WRs.
-	if len(acts.Delivered) > 0 {
-		for _, rec := range acts.Delivered {
-			qs.stash = append(qs.stash, stashedRec{payload: rec})
-		}
-		steps = append(steps, func(next func()) {
-			n.drainStash(qs, func() {
-				if len(qs.stash) > 0 {
-					n.stats.StashedRecords++
-				}
-				next()
-			})
-		})
-	}
-	if acts.Established {
-		est := qs
-		steps = append(steps, func(next func()) {
-			n.notifyHost(func() {
-				est.qp.SetEstablished(est.localPort, est.remotePort, est.remoteAddr)
-			})
-			next()
-		})
-	}
-	if acts.Reset {
-		steps = append(steps, func(next func()) {
-			n.Net.Add("conn.reset", 1)
-			n.failQP(qs, verbs.ErrConnRefused, verbs.StatusRemoteError)
-			next()
-		})
-	}
-	if acts.RetryExceeded {
-		// The retry budget is spent: the QP transitions to the error
-		// state and outstanding WRs flush asynchronously with
-		// StatusRetryExceeded (tentpole behaviour, DESIGN §8).
-		steps = append(steps, func(next func()) {
-			n.Net.Add("conn.retry-exceeded", 1)
-			n.failQP(qs, verbs.ErrRetryExceeded, verbs.StatusRetryExceeded)
-			next()
-		})
-	}
-	if acts.PeerClosed {
-		steps = append(steps, func(next func()) {
-			qs.peerClosed = true
-			n.notifyHost(func() { qs.qp.Flush() })
-			next()
-		})
-	}
-	if len(steps) == 0 {
+	if acts.AckedRecords == 0 && len(acts.Delivered) == 0 &&
+		!acts.Established && !acts.Reset && !acts.RetryExceeded && !acts.PeerClosed {
 		if done != nil {
 			done()
 		}
 		return
 	}
-	chain(steps, done)
-}
-
-// completeSendStep charges the ACK-side update cost (Table 3: "Update
-// (WR and QP State)" = 9 us) and posts the completion.
-func (n *NIC) completeSendStep(qs *qpState) step {
-	return func(next func()) {
-		d := params.US(params.RxUpdateAckUS)
-		n.RxAck.Add("Update", d)
-		n.cpu.Do(d, "Update", func() {
-			// DMA the completion token into the host CQ.
-			n.cfg.Bus.Burst(32, "cq.token", func() {
-				if len(qs.sendIDs) > 0 {
-					id := qs.sendIDs[0]
-					qs.sendIDs = qs.sendIDs[1:]
-					qs.qp.CompleteSend(id, verbs.StatusSuccess, 0)
-				}
-				next()
-			})
-		})
+	cr := n.getChain(done)
+	cr.qs = qs
+	// Send completions: "This WR completes when all the data for that
+	// message is acknowledged by the destination" (paper §3).
+	if acts.AckedRecords > 0 {
+		cr.completions = acts.AckedRecords
+		cr.push(stage{kind: stComplete})
 	}
+	// Delivered records enter the SRAM stash *now*, synchronously, so the
+	// TCB's delivery order is pinned before any chained stage runs —
+	// concurrent receive chains must not transpose records. The stash
+	// stage then drains into posted receive WRs.
+	if len(acts.Delivered) > 0 {
+		for _, rec := range acts.Delivered {
+			qs.pushStash(rec)
+		}
+		cr.push(stage{kind: stStash})
+		cr.push(stage{kind: stStashTally})
+	}
+	if acts.Established {
+		cr.push(stage{kind: stCustom, fn: func(next func()) {
+			n.notifyHost(func() {
+				qs.qp.SetEstablished(qs.localPort, qs.remotePort, qs.remoteAddr)
+			})
+			next()
+		}})
+	}
+	if acts.Reset {
+		cr.push(stage{kind: stCustom, fn: func(next func()) {
+			n.Net.Add("conn.reset", 1)
+			n.failQP(qs, verbs.ErrConnRefused, verbs.StatusRemoteError)
+			next()
+		}})
+	}
+	if acts.RetryExceeded {
+		// The retry budget is spent: the QP transitions to the error
+		// state and outstanding WRs flush asynchronously with
+		// StatusRetryExceeded (tentpole behaviour, DESIGN §8).
+		cr.push(stage{kind: stCustom, fn: func(next func()) {
+			n.Net.Add("conn.retry-exceeded", 1)
+			n.failQP(qs, verbs.ErrRetryExceeded, verbs.StatusRetryExceeded)
+			next()
+		}})
+	}
+	if acts.PeerClosed {
+		cr.push(stage{kind: stCustom, fn: func(next func()) {
+			qs.peerClosed = true
+			n.notifyHost(func() { qs.qp.Flush() })
+			next()
+		}})
+	}
+	cr.run()
 }
 
 // placeRecord runs the Get WR / Put Data / Update chain for one record.
 func (n *NIC) placeRecord(qs *qpState, wr verbs.RecvWR, rec buf.Buf, raddr inet.Addr6, rport uint16, next func()) {
-	set := n.RxData
 	status := verbs.StatusSuccess
 	if rec.Len() > wr.Capacity {
 		status = verbs.StatusLenError
 	}
-	chain([]step{
-		n.cpuStage(set, "Get WR", params.RxGetWRUS),
-		n.dmaStage(set, "Put Data", params.RxPutDataUS, rec.Len()),
-		n.cpuStage(set, "Update", params.RxUpdateDataUS),
-	}, func() {
-		n.cfg.Bus.Burst(32, "cq.token", func() {
-			comp := verbs.Completion{
-				WRID:       wr.ID,
-				Status:     status,
-				ByteLen:    rec.Len(),
-				Payload:    rec,
-				RemoteAddr: raddr,
-				RemotePort: rport,
-			}
-			if status == verbs.StatusLenError {
-				comp.Payload = buf.Empty
-				comp.ByteLen = 0
-			}
-			qs.qp.CompleteRecv(comp)
-			n.updateWindow(qs)
-			if next != nil {
-				next()
-			}
-		})
-	})
+	cr := n.getChain(next)
+	cr.use(n.place[:])
+	cr.qs = qs
+	cr.wr = wr
+	cr.rec = rec
+	cr.raddr = raddr
+	cr.rport = rport
+	cr.status = status
+	cr.bytes = rec.Len()
+	cr.run()
 }
 
-// drainStash delivers SRAM-stashed records into newly posted WRs.
-func (n *NIC) drainStash(qs *qpState, done func()) {
-	if len(qs.stash) == 0 {
-		done()
-		return
-	}
-	wr, ok := qs.qp.TakeRecvWR()
-	if !ok {
-		done()
-		return
-	}
-	rec := qs.stash[0]
-	qs.stash = qs.stash[1:]
-	n.placeRecord(qs, wr, rec.payload, qs.remoteAddr, qs.remotePort, func() {
-		n.drainStash(qs, done)
-	})
+// drainStashAndUpdate delivers SRAM-stashed records into newly posted WRs,
+// then re-advertises the receive window (the RecvPosted path).
+func (n *NIC) drainStashAndUpdate(qs *qpState) {
+	cr := n.getChain(nil)
+	cr.qs = qs
+	cr.push(stage{kind: stStash})
+	cr.push(stage{kind: stUpdateWindow})
+	cr.run()
 }
 
 // syncTimer keeps one engine timer aligned with the TCB's earliest
@@ -453,19 +302,23 @@ func (n *NIC) syncTimer(qs *qpState) {
 	if at < n.eng.Now() {
 		at = n.eng.Now()
 	}
-	qs.timer = n.eng.At(at, "qpip.tcp.timer", func() {
-		qs.timer = nil
-		now := int64(n.eng.Now())
-		acts := qs.conn.OnTimer(now)
-		for _, seg := range acts.Segments {
-			// Count only real retransmissions, not timer-driven pure acks
-			// (delayed acks, window probes).
-			if seg.Payload.Len() > 0 || seg.Flags.Has(tcp.SYN) || seg.Flags.Has(tcp.FIN) {
-				n.stats.Retransmissions++
-				n.Net.Add("tx.retransmit", 1)
-			}
+	qs.timer = n.eng.At(at, "qpip.tcp.timer", qs.timerFn)
+}
+
+// onQPTimer is the timer callback body; qs.timerFn binds it once at QP
+// creation so re-arming the timer never allocates.
+func (n *NIC) onQPTimer(qs *qpState) {
+	qs.timer = nil
+	now := int64(n.eng.Now())
+	acts := qs.conn.OnTimer(now)
+	for _, seg := range acts.Segments {
+		// Count only real retransmissions, not timer-driven pure acks
+		// (delayed acks, window probes).
+		if seg.Payload.Len() > 0 || seg.Flags.Has(tcp.SYN) || seg.Flags.Has(tcp.FIN) {
+			n.stats.Retransmissions++
+			n.Net.Add("tx.retransmit", 1)
 		}
-		n.handleActions(qs, acts, nil)
-		n.syncTimer(qs)
-	})
+	}
+	n.handleActions(qs, acts, nil)
+	n.syncTimer(qs)
 }

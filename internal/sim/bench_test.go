@@ -1,0 +1,115 @@
+package sim
+
+import "testing"
+
+// benchEngine builds an engine in the requested queue mode.
+func benchEngine(legacy bool) *Engine {
+	SetLegacyQueue(legacy)
+	defer SetLegacyQueue(false)
+	return NewEngine()
+}
+
+func benchScheduleFire(b *testing.B, legacy bool) {
+	e := benchEngine(legacy)
+	nop := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%1000), "bench", nop)
+		e.step()
+	}
+}
+
+func BenchmarkScheduleFire(b *testing.B)       { benchScheduleFire(b, false) }
+func BenchmarkScheduleFireLegacy(b *testing.B) { benchScheduleFire(b, true) }
+
+func benchScheduleCancel(b *testing.B, legacy bool) {
+	e := benchEngine(legacy)
+	nop := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := e.After(Time(1000+i%777), "bench", nop)
+		ev.Cancel()
+	}
+}
+
+func BenchmarkScheduleCancel(b *testing.B)       { benchScheduleCancel(b, false) }
+func BenchmarkScheduleCancelLegacy(b *testing.B) { benchScheduleCancel(b, true) }
+
+// BenchmarkTimerChurn models the tcp timer pattern: a standing far deadline
+// that is repeatedly cancelled and re-armed while near events fire.
+func benchTimerChurn(b *testing.B, legacy bool) {
+	e := benchEngine(legacy)
+	nop := func() {}
+	var timer *Event
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if timer != nil {
+			timer.Cancel()
+			timer = nil
+		}
+		timer = e.After(200*Millisecond, "rexmt", nop)
+		e.After(0, "work", nop)
+		e.step()
+	}
+}
+
+func BenchmarkTimerChurn(b *testing.B)       { benchTimerChurn(b, false) }
+func BenchmarkTimerChurnLegacy(b *testing.B) { benchTimerChurn(b, true) }
+
+func BenchmarkParkWake(b *testing.B) {
+	e := NewEngine()
+	p := e.Spawn("bench", func(p *Proc) {
+		for {
+			p.Suspend()
+		}
+	})
+	e.Run() // parks the process
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Wake()
+	}
+}
+
+// TestScheduleFireAllocFree locks in the event free list: steady-state
+// schedule/fire and schedule/cancel cycles on a warm wheel engine must not
+// allocate at all.
+func TestScheduleFireAllocFree(t *testing.T) {
+	e := NewEngine()
+	nop := func() {}
+	// Warm up the free list and due buffer.
+	for i := 0; i < 64; i++ {
+		e.After(Time(i), "warm", nop)
+	}
+	e.Run()
+	if n := testing.AllocsPerRun(1000, func() {
+		e.After(100, "fire", nop)
+		e.step()
+	}); n != 0 {
+		t.Fatalf("schedule+fire allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		ev := e.After(1000, "cancel", nop)
+		ev.Cancel()
+	}); n != 0 {
+		t.Fatalf("schedule+cancel allocates %v/op, want 0", n)
+	}
+}
+
+// TestParkWakeAllocFree locks in the park/wake handshake cost: waking a
+// parked process must not allocate.
+func TestParkWakeAllocFree(t *testing.T) {
+	e := NewEngine()
+	p := e.Spawn("proc", func(p *Proc) {
+		for {
+			p.Suspend()
+		}
+	})
+	e.Run()
+	if n := testing.AllocsPerRun(1000, func() { p.Wake() }); n != 0 {
+		t.Fatalf("park/wake allocates %v/op, want 0", n)
+	}
+}

@@ -5,6 +5,13 @@
 // only time is simulated. The engine is single-threaded and fully
 // deterministic: events fire in non-decreasing timestamp order, with ties
 // broken by scheduling order.
+//
+// Two queue implementations live behind the same API. The default is a
+// four-level hierarchical timer wheel (wheel.go) with a per-engine Event
+// free list, so steady-state scheduling, cancellation, and firing allocate
+// nothing. The original container/heap queue is kept as a baseline, selected
+// with SetLegacyQueue, for A/B determinism tests and benchmark comparisons.
+// Both orderings are identical by construction: (at, seq) is a total order.
 package sim
 
 import (
@@ -48,25 +55,86 @@ func (t Time) String() string {
 // Micros converts a floating-point number of microseconds to a Time.
 func Micros(us float64) Time { return Time(us * 1e3) }
 
+// legacyQueue selects the container/heap queue (and disables event pooling)
+// for engines created after the call. It exists so benchmarks and the chaos
+// determinism tests can compare the optimized engine against the original.
+var legacyQueue bool
+
+// SetLegacyQueue selects the pre-wheel heap queue for subsequently created
+// engines. Call only between simulation runs.
+func SetLegacyQueue(v bool) { legacyQueue = v }
+
+// LegacyQueue reports whether new engines will use the heap queue.
+func LegacyQueue() bool { return legacyQueue }
+
+// Event lifecycle states.
+const (
+	evFree     uint8 = iota // on the engine free list (or never scheduled)
+	evHeap                  // queued in the legacy binary heap
+	evWheel                 // linked into a timer-wheel slot
+	evDue                   // in the due buffer, about to fire
+	evOverflow              // parked beyond the wheel horizon
+	evFired                 // callback ran
+	evCanceled              // cancelled before firing
+)
+
 // Event is a scheduled callback. It may be cancelled before it fires.
+//
+// Events are pooled per engine: once an event has fired or been cancelled,
+// the engine may hand the same *Event out again from a later At/After call.
+// Holders that keep an event across callbacks must therefore drop their
+// reference when it fires (set it to nil first thing in the callback) and
+// immediately after calling Cancel — the discipline every timer holder in
+// this repo already follows. Calling Cancel on an event that already fired
+// is a harmless no-op.
 type Event struct {
-	at       Time
-	seq      uint64
-	index    int // heap index, -1 once popped or cancelled
-	fn       func()
-	name     string
-	canceled bool
+	at    Time
+	seq   uint64
+	fn    func()
+	name  string
+	eng   *Engine
+	state uint8
+
+	// srv, when non-nil, is the Server whose job this event completes; the
+	// engine decrements the server's queue depth before running fn. Keeping
+	// the pointer in the event (rather than wrapping fn) makes Server.Do
+	// allocation-free.
+	srv *Server
+
+	index int // heap position (legacy engines), -1 once popped or removed
+
+	// Timer-wheel intrusive list links. next doubles as the free-list link.
+	next, prev *Event
+	level      int8
+	slot       uint8
 }
 
 // At reports the time the event is scheduled to fire.
 func (ev *Event) At() Time { return ev.at }
 
 // Canceled reports whether Cancel was called before the event fired.
-func (ev *Event) Canceled() bool { return ev.canceled }
+func (ev *Event) Canceled() bool { return ev.state == evCanceled }
 
-// Cancel prevents the event's callback from running. Cancelling an event
-// that already fired or was already cancelled is a no-op.
-func (ev *Event) Cancel() { ev.canceled = true }
+// Cancel prevents the event's callback from running and removes it from the
+// queue. Cancelling an event that already fired or was already cancelled is
+// a no-op.
+func (ev *Event) Cancel() {
+	switch ev.state {
+	case evHeap:
+		ev.state = evCanceled
+		ev.eng.live--
+		heap.Remove(&ev.eng.queue, ev.index)
+	case evWheel:
+		ev.state = evCanceled
+		ev.eng.live--
+		ev.eng.wheel.unlink(ev)
+		ev.eng.recycle(ev)
+	case evDue, evOverflow:
+		// Sliced storage; reaped (and recycled) when its batch is visited.
+		ev.state = evCanceled
+		ev.eng.live--
+	}
+}
 
 type eventHeap []*Event
 
@@ -103,14 +171,25 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
 	fired   uint64
+	live    int // scheduled, not yet fired or cancelled
 	stopped bool
+	legacy  bool
+
+	queue eventHeap // legacy mode
+
+	// Wheel mode: the wheel proper plus the "due" buffer — the already
+	// drained, (at, seq)-ordered run of events about to fire. dueHead
+	// indexes the next event to pop so draining never shifts the slice.
+	wheel   wheel
+	due     []*Event
+	dueHead int
+	free    *Event // event free list, linked through next
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{legacy: legacyQueue}
 }
 
 // Now reports the current simulated time.
@@ -119,9 +198,38 @@ func (e *Engine) Now() Time { return e.now }
 // Fired reports the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending reports the number of events scheduled but not yet fired
-// (including cancelled events not yet reaped).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending reports the number of live events: scheduled but not yet fired or
+// cancelled.
+func (e *Engine) Pending() int { return e.live }
+
+// alloc hands out an event, reusing the free list in wheel mode.
+func (e *Engine) alloc(t Time, name string, fn func()) *Event {
+	ev := e.free
+	if ev != nil {
+		e.free = ev.next
+		ev.next = nil
+	} else {
+		ev = &Event{eng: e}
+	}
+	e.seq++
+	ev.at, ev.seq, ev.fn, ev.name = t, e.seq, fn, name
+	return ev
+}
+
+// recycle returns a fired or cancelled event to the free list. The state
+// field is deliberately left as evFired/evCanceled so a stale holder's
+// Canceled() read stays truthful until the event is handed out again.
+func (e *Engine) recycle(ev *Event) {
+	if e.legacy {
+		return // legacy engines model the original allocate-per-event path
+	}
+	ev.fn = nil
+	ev.name = ""
+	ev.srv = nil
+	ev.prev = nil
+	ev.next = e.free
+	e.free = ev
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a model bug.
@@ -129,9 +237,29 @@ func (e *Engine) At(t Time, name string, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: event %q scheduled at %v, before now %v", name, t, e.now))
 	}
-	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn, name: name}
-	heap.Push(&e.queue, ev)
+	ev := e.alloc(t, name, fn)
+	e.live++
+	if e.legacy {
+		ev.state = evHeap
+		heap.Push(&e.queue, ev)
+		return ev
+	}
+	// An active due buffer covers timestamps up to its last entry; events
+	// landing inside that span must join it (sorted; equal timestamps go
+	// after existing ones since the new seq is highest). Everything later
+	// goes to the wheel, which only holds times beyond the due horizon.
+	if n := len(e.due); n > e.dueHead && t <= e.due[n-1].at {
+		ev.state = evDue
+		i := n
+		for i > e.dueHead && e.due[i-1].at > t {
+			i--
+		}
+		e.due = append(e.due, nil)
+		copy(e.due[i+1:], e.due[i:])
+		e.due[i] = ev
+		return ev
+	}
+	e.wheel.insert(ev)
 	return ev
 }
 
@@ -147,19 +275,62 @@ func (e *Engine) After(d Time, name string, fn func()) *Event {
 // currently-executing event completes. Pending events stay queued.
 func (e *Engine) Stop() { e.stopped = true }
 
+// peek exposes the next live event without firing it, refilling the due
+// buffer from the wheel as needed. It reports false when the queue is empty.
+func (e *Engine) peek() (*Event, bool) {
+	if e.legacy {
+		for len(e.queue) > 0 {
+			if ev := e.queue[0]; ev.state != evCanceled {
+				return ev, true
+			}
+			heap.Pop(&e.queue) // stale entry; cancelled events are removed eagerly
+		}
+		return nil, false
+	}
+	for {
+		for e.dueHead < len(e.due) {
+			ev := e.due[e.dueHead]
+			if ev.state != evCanceled {
+				return ev, true
+			}
+			e.due[e.dueHead] = nil
+			e.dueHead++
+			e.recycle(ev)
+		}
+		e.due = e.due[:0]
+		e.dueHead = 0
+		if !e.wheel.pullNext(e) {
+			return nil, false
+		}
+	}
+}
+
 // step pops and runs the next event. It reports false when the queue is empty.
 func (e *Engine) step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.canceled {
-			continue
-		}
-		e.now = ev.at
-		e.fired++
-		ev.fn()
-		return true
+	ev, ok := e.peek()
+	if !ok {
+		return false
 	}
-	return false
+	if e.legacy {
+		heap.Pop(&e.queue)
+	} else {
+		e.due[e.dueHead] = nil
+		e.dueHead++
+	}
+	ev.state = evFired
+	e.now = ev.at
+	e.fired++
+	e.live--
+	if ev.srv != nil {
+		ev.srv.inQueue--
+	}
+	if ev.fn != nil {
+		ev.fn()
+	}
+	// Recycled only after fn returns: any holder has nilled its reference by
+	// then (callbacks clear their own handle first), so reuse is safe.
+	e.recycle(ev)
+	return true
 }
 
 // Run executes events until the queue is empty or Stop is called.
@@ -174,16 +345,8 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(t Time) {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.queue) == 0 {
-			break
-		}
-		// Peek.
-		next := e.queue[0]
-		if next.canceled {
-			heap.Pop(&e.queue)
-			continue
-		}
-		if next.at > t {
+		next, ok := e.peek()
+		if !ok || next.at > t {
 			break
 		}
 		e.step()

@@ -7,30 +7,44 @@ import "fmt"
 // deterministically with the event engine. Exactly one goroutine — the
 // engine's or one process's — runs at a time; control transfers are
 // synchronous handshakes, so simulations stay reproducible.
+//
+// A single unbuffered baton channel carries both directions of the
+// handshake: the side yielding control sends, the side waiting to run
+// receives, in strict alternation. One channel halves the channel traffic
+// of the old resume/parked pair on the hot park/wake path.
 type Proc struct {
-	eng    *Engine
-	name   string
-	resume chan struct{}
-	parked chan struct{}
-	dead   bool
+	eng   *Engine
+	name  string
+	baton chan struct{}
+	dead  bool
+
+	// Precomputed event names, so Sleep/Use in a poll loop don't
+	// concatenate strings per call.
+	sleepName, useName string
+
+	// wakeFn is the one Wake closure, bound at spawn, so Sleep and Use
+	// don't allocate a fresh closure per park.
+	wakeFn func()
 }
 
 // Spawn starts fn as a simulated process at the current time. fn runs until
 // it parks (Suspend, Sleep, Use) or returns; the engine then proceeds.
 func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 	p := &Proc{
-		eng:    e,
-		name:   name,
-		resume: make(chan struct{}),
-		parked: make(chan struct{}),
+		eng:       e,
+		name:      name,
+		baton:     make(chan struct{}),
+		sleepName: name + ".sleep",
+		useName:   name + ".use",
 	}
+	p.wakeFn = func() { p.Wake() }
 	e.After(0, "spawn:"+name, func() {
 		go func() {
 			fn(p)
 			p.dead = true
-			p.parked <- struct{}{}
+			p.baton <- struct{}{}
 		}()
-		<-p.parked
+		<-p.baton
 	})
 	return p
 }
@@ -43,8 +57,8 @@ func (p *Proc) Done() bool { return p.dead }
 
 // park transfers control back to the engine until Wake.
 func (p *Proc) park() {
-	p.parked <- struct{}{}
-	<-p.resume
+	p.baton <- struct{}{}
+	<-p.baton
 }
 
 // Wake resumes a parked process and blocks (the engine) until it parks
@@ -54,8 +68,8 @@ func (p *Proc) Wake() {
 	if p.dead {
 		panic(fmt.Sprintf("sim: Wake on finished process %q", p.name))
 	}
-	p.resume <- struct{}{}
-	<-p.parked
+	p.baton <- struct{}{}
+	<-p.baton
 }
 
 // Suspend parks until some event calls Wake.
@@ -63,14 +77,14 @@ func (p *Proc) Suspend() { p.park() }
 
 // Sleep parks for d of simulated time.
 func (p *Proc) Sleep(d Time) {
-	p.eng.After(d, p.name+".sleep", func() { p.Wake() })
+	p.eng.After(d, p.sleepName, p.wakeFn)
 	p.park()
 }
 
 // Use occupies a server (a CPU, typically) for d and parks until the work
 // completes — modeling synchronous computation by this process.
 func (p *Proc) Use(s *Server, d Time) {
-	s.Do(d, p.name+".use", func() { p.Wake() })
+	s.Do(d, p.useName, p.wakeFn)
 	p.park()
 }
 

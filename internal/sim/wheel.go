@@ -1,0 +1,207 @@
+package sim
+
+import "math/bits"
+
+// Four-level hierarchical timer wheel, the engine's default queue.
+//
+// Ticks are one nanosecond — the engine's native resolution — so a level-0
+// slot holds events for exactly one timestamp and a FIFO slot list is
+// automatically in (at, seq) order: no sorting happens anywhere. Each level
+// has 256 slots; level L buckets bits [8L, 8L+8) of the timestamp, giving a
+// horizon of 2^32 ns (~4.3 s) past the cursor. The rare timer beyond that
+// (TIME_WAIT, fully backed-off retransmits) parks in an overflow slice in
+// scheduling order and is redistributed when the cursor reaches its window.
+//
+// Invariant: every resident event's timestamp t satisfies t >= cur, and t
+// lives at the lowest level whose window contains both t and cur (events
+// sharing cur's 256ns window are in level 0, and so on). Inserts place by
+// window, and the cursor only enters a new window through cascade (which
+// re-files that window's events first), so a slot is always fully populated
+// before the level-0 scan can reach it. Occupancy bitmaps make the scans a
+// handful of word tests.
+type wheel struct {
+	cur      uint64
+	slots    [4][256]wslot
+	occupied [4][4]uint64
+	overflow []*Event
+}
+
+// wslot is a doubly-linked FIFO of events, linked through Event.next/prev.
+type wslot struct{ head, tail *Event }
+
+// insert files an event at the lowest level whose window contains both the
+// event and the cursor, or into overflow past the horizon. Callers ensure
+// ev.at >= cur (the engine's due buffer absorbs anything earlier).
+func (w *wheel) insert(ev *Event) {
+	t := uint64(ev.at)
+	switch {
+	case t>>8 == w.cur>>8:
+		w.link(0, uint8(t), ev)
+	case t>>16 == w.cur>>16:
+		w.link(1, uint8(t>>8), ev)
+	case t>>24 == w.cur>>24:
+		w.link(2, uint8(t>>16), ev)
+	case t>>32 == w.cur>>32:
+		w.link(3, uint8(t>>24), ev)
+	default:
+		ev.state = evOverflow
+		w.overflow = append(w.overflow, ev)
+	}
+}
+
+func (w *wheel) link(level int8, slot uint8, ev *Event) {
+	ev.state = evWheel
+	ev.level, ev.slot = level, slot
+	s := &w.slots[level][slot]
+	ev.prev, ev.next = s.tail, nil
+	if s.tail != nil {
+		s.tail.next = ev
+	} else {
+		s.head = ev
+		w.occupied[level][slot>>6] |= 1 << (slot & 63)
+	}
+	s.tail = ev
+}
+
+// unlink removes a (cancelled) event from its slot in O(1).
+func (w *wheel) unlink(ev *Event) {
+	s := &w.slots[ev.level][ev.slot]
+	if ev.prev != nil {
+		ev.prev.next = ev.next
+	} else {
+		s.head = ev.next
+	}
+	if ev.next != nil {
+		ev.next.prev = ev.prev
+	} else {
+		s.tail = ev.prev
+	}
+	if s.head == nil {
+		w.occupied[ev.level][ev.slot>>6] &^= 1 << (ev.slot & 63)
+	}
+	ev.next, ev.prev = nil, nil
+}
+
+// firstFrom returns the smallest occupied slot index >= from at the given
+// level, or -1 when the rest of the level is empty.
+func (w *wheel) firstFrom(level, from int) int {
+	if from > 255 {
+		return -1
+	}
+	word := from >> 6
+	mask := w.occupied[level][word] &^ (1<<(uint(from)&63) - 1)
+	for {
+		if mask != 0 {
+			return word<<6 + bits.TrailingZeros64(mask)
+		}
+		word++
+		if word == 4 {
+			return -1
+		}
+		mask = w.occupied[level][word]
+	}
+}
+
+// takeSlot detaches and returns a slot's list head, emptying the slot.
+func (w *wheel) takeSlot(level int8, slot uint8) *Event {
+	s := &w.slots[level][slot]
+	head := s.head
+	s.head, s.tail = nil, nil
+	w.occupied[level][slot>>6] &^= 1 << (slot & 63)
+	return head
+}
+
+// pullNext advances the cursor to the next occupied timestamp and drains
+// that slot — all events sharing one timestamp, in scheduling order — into
+// the engine's due buffer. It reports false when the wheel is empty.
+func (w *wheel) pullNext(e *Engine) bool {
+	for {
+		if s := w.firstFrom(0, int(w.cur&255)); s >= 0 {
+			w.cur = w.cur&^255 | uint64(s)
+			for ev := w.takeSlot(0, uint8(s)); ev != nil; {
+				next := ev.next
+				ev.next, ev.prev = nil, nil
+				ev.state = evDue
+				e.due = append(e.due, ev)
+				ev = next
+			}
+			return true
+		}
+		// Level 0 exhausted: enter the next occupied higher-level window
+		// (current higher-level slots are empty by the placement invariant)
+		// and cascade it down, then rescan.
+		if s := w.firstFrom(1, int(w.cur>>8&255)+1); s >= 0 {
+			w.cur = w.cur>>16<<16 | uint64(s)<<8
+			w.cascade(1, uint8(s))
+			continue
+		}
+		if s := w.firstFrom(2, int(w.cur>>16&255)+1); s >= 0 {
+			w.cur = w.cur>>24<<24 | uint64(s)<<16
+			w.cascade(2, uint8(s))
+			continue
+		}
+		if s := w.firstFrom(3, int(w.cur>>24&255)+1); s >= 0 {
+			w.cur = w.cur>>32<<32 | uint64(s)<<24
+			w.cascade(3, uint8(s))
+			continue
+		}
+		if !w.refillFromOverflow(e) {
+			return false
+		}
+	}
+}
+
+// cascade re-files a higher-level slot's events after the cursor entered the
+// slot's window. FIFO order is preserved, so equal-timestamp events keep
+// their scheduling order all the way down to level 0.
+func (w *wheel) cascade(level int8, slot uint8) {
+	for ev := w.takeSlot(level, slot); ev != nil; {
+		next := ev.next
+		ev.next, ev.prev = nil, nil
+		w.insert(ev)
+		ev = next
+	}
+}
+
+// refillFromOverflow jumps the cursor to the earliest overflow timestamp and
+// moves every overflow event inside the cursor's new top-level window into
+// the wheel. Setting the cursor to the minimum timestamp itself (rather
+// than a window base) keeps all re-filed events at scannable slot indexes.
+// Cancelled stragglers are reaped here; slice order (= scheduling order) is
+// preserved for the rest.
+func (w *wheel) refillFromOverflow(e *Engine) bool {
+	live := w.overflow[:0]
+	var min uint64
+	found := false
+	for _, ev := range w.overflow {
+		if ev.state == evCanceled {
+			e.recycle(ev)
+			continue
+		}
+		live = append(live, ev)
+		if t := uint64(ev.at); !found || t < min {
+			min, found = t, true
+		}
+	}
+	for i := len(live); i < len(w.overflow); i++ {
+		w.overflow[i] = nil
+	}
+	w.overflow = live
+	if !found {
+		return false
+	}
+	w.cur = min
+	keep := w.overflow[:0]
+	for _, ev := range w.overflow {
+		if uint64(ev.at)>>32 == w.cur>>32 {
+			w.insert(ev)
+		} else {
+			keep = append(keep, ev)
+		}
+	}
+	for i := len(keep); i < len(w.overflow); i++ {
+		w.overflow[i] = nil
+	}
+	w.overflow = keep
+	return true
+}

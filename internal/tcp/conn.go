@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/buf"
+	"repro/internal/pool"
 )
 
 // Mode selects how application data maps onto segments.
@@ -226,15 +227,30 @@ type Conn struct {
 
 	sndScale, rcvScale uint8
 
-	// Pending application data not yet segmentized.
+	// Pending application data not yet segmentized. The queues are
+	// head-indexed rings-on-a-slice: consumers advance the head and the
+	// slice resets to [:0] when drained, so steady-state traffic reuses
+	// one backing array instead of reallocating behind a [1:] reslice.
 	pendingRecords []buf.Buf // record mode
+	pendingRecHead int
 	pendingBytes   []buf.Buf // stream mode
+	pendingBytHead int
 	pendingLen     int
 	finQueued      bool
 	finSent        bool
 	finSeq         Seq
 
-	flight []*flightSeg
+	flight     []*flightSeg
+	flightHead int
+	// flightFree recycles retired flight entries (see newFlightSeg); the
+	// list is per-connection so reuse stays deterministic.
+	flightFree []*flightSeg
+
+	// Action-slice reuse (opt-in; see ReuseActionBuffers). actSegs/actBufs
+	// are the retained backing arrays handed out by newActions.
+	reuseActs bool
+	actSegs   []*Segment
+	actBufs   []buf.Buf
 
 	// Receive state.
 	irs        Seq
@@ -325,7 +341,8 @@ func (c *Conn) RemotePort() uint16 { return c.cfg.RemotePort }
 
 // Connect initiates an active open, returning the SYN to transmit.
 func (c *Conn) Connect(now int64) (Actions, error) {
-	var a Actions
+	a := c.newActions()
+	defer c.finishActions(&a)
 	if c.state != Closed {
 		return a, ErrBadState
 	}
@@ -357,7 +374,8 @@ func (c *Conn) Connect(now int64) (Actions, error) {
 // interface: "the handshake is handled in the interface with the host only
 // being notified when the connection is established" (paper §3).
 func (c *Conn) AcceptSYN(syn *Segment, now int64) (Actions, error) {
-	var a Actions
+	a := c.newActions()
+	defer c.finishActions(&a)
 	if c.state != Closed {
 		return a, ErrBadState
 	}
@@ -423,7 +441,8 @@ func (c *Conn) takePeerOptions(syn *Segment, now int64) {
 // Send queues application data. In record mode p is one message that will
 // occupy exactly one segment; in stream mode p joins the byte stream.
 func (c *Conn) Send(p buf.Buf, now int64) (Actions, error) {
-	var a Actions
+	a := c.newActions()
+	defer c.finishActions(&a)
 	switch c.state {
 	case Established, CloseWait:
 	case SynSent, SynRcvd:
@@ -450,7 +469,8 @@ func (c *Conn) Send(p buf.Buf, now int64) (Actions, error) {
 // SetRecvWindow sets the receive window limit from posted receive buffer
 // capacity (record mode). Opening the window may emit a window update.
 func (c *Conn) SetRecvWindow(bytes int, now int64) Actions {
-	var a Actions
+	a := c.newActions()
+	defer c.finishActions(&a)
 	if bytes < 0 {
 		bytes = 0
 	}
@@ -462,7 +482,8 @@ func (c *Conn) SetRecvWindow(bytes int, now int64) Actions {
 // AppRead tells the connection the application consumed n delivered bytes
 // (stream mode), freeing receive buffer and possibly opening the window.
 func (c *Conn) AppRead(n int, now int64) Actions {
-	var a Actions
+	a := c.newActions()
+	defer c.finishActions(&a)
 	if n > c.rcvBufUsed {
 		n = c.rcvBufUsed
 	}
@@ -496,7 +517,8 @@ func (c *Conn) maybeWindowUpdate(now int64, a *Actions) {
 
 // Close begins an orderly release. Queued data is sent before the FIN.
 func (c *Conn) Close(now int64) (Actions, error) {
-	var a Actions
+	a := c.newActions()
+	defer c.finishActions(&a)
 	switch c.state {
 	case Established:
 		c.state = FinWait1
@@ -522,7 +544,8 @@ func (c *Conn) Close(now int64) (Actions, error) {
 // Abort tears the connection down immediately, emitting an RST if the
 // connection is synchronized.
 func (c *Conn) Abort(now int64) Actions {
-	var a Actions
+	a := c.newActions()
+	defer c.finishActions(&a)
 	if c.state == Established || c.state == SynRcvd || c.state == FinWait1 ||
 		c.state == FinWait2 || c.state == CloseWait || c.state == Closing || c.state == LastAck {
 		seg := c.makeSeg(RST|ACK, buf.Empty)
@@ -539,9 +562,9 @@ func (c *Conn) toClosed(a *Actions) {
 		a.Closed = true
 	}
 	c.cancelTimers()
-	c.flight = nil
-	c.pendingRecords = nil
-	c.pendingBytes = nil
+	c.flight, c.flightHead = nil, 0
+	c.pendingRecords, c.pendingRecHead = nil, 0
+	c.pendingBytes, c.pendingBytHead = nil, 0
 	c.pendingLen = 0
 }
 
@@ -559,16 +582,81 @@ func (c *Conn) advertisableWindow() int {
 	return w
 }
 
+// ReuseActionBuffers opts the connection into reusing its Actions slice
+// backing arrays across calls. Owners that fully consume Segments and
+// Delivered before the next call into the connection (the NIC firmware and
+// host kernel both do) enable this to keep the per-call Actions off the
+// heap; owners that retain Actions across calls must leave it off.
+func (c *Conn) ReuseActionBuffers(on bool) { c.reuseActs = on }
+
+// newActions builds the Actions value for one API call, reusing retained
+// backing arrays when the owner opted in.
+func (c *Conn) newActions() Actions {
+	if !c.reuseActs {
+		return Actions{}
+	}
+	return Actions{Segments: c.actSegs[:0], Delivered: c.actBufs[:0]}
+}
+
+// finishActions recaptures (possibly grown) backing arrays when the call
+// returns; deferred so error paths are covered too.
+func (c *Conn) finishActions(a *Actions) {
+	if !c.reuseActs {
+		return
+	}
+	c.actSegs = a.Segments[:0]
+	c.actBufs = a.Delivered[:0]
+}
+
+// flightLen reports outstanding (unacknowledged) flight entries.
+func (c *Conn) flightLen() int { return len(c.flight) - c.flightHead }
+
+// flightFront returns the oldest unacknowledged flight entry.
+func (c *Conn) flightFront() *flightSeg { return c.flight[c.flightHead] }
+
+// popFlight retires the head flight entry, resetting the queue to its
+// backing array's start once drained so steady-state traffic never
+// reallocates it.
+func (c *Conn) popFlight() *flightSeg {
+	f := c.flight[c.flightHead]
+	c.flight[c.flightHead] = nil
+	c.flightHead++
+	if c.flightHead == len(c.flight) {
+		c.flight = c.flight[:0]
+		c.flightHead = 0
+	}
+	return f
+}
+
+// newFlightSeg pops the per-conn free list, falling back to the heap.
+func (c *Conn) newFlightSeg() *flightSeg {
+	if n := len(c.flightFree); n > 0 {
+		f := c.flightFree[n-1]
+		c.flightFree = c.flightFree[:n-1]
+		return f
+	}
+	return &flightSeg{}
+}
+
+// freeFlightSeg recycles a retired flight entry, dropping its payload
+// reference so acknowledged data is not pinned. With pooling disabled
+// entries fall to the collector, matching the pre-pool baseline.
+func (c *Conn) freeFlightSeg(f *flightSeg) {
+	if !pool.Enabled() {
+		return
+	}
+	*f = flightSeg{}
+	c.flightFree = append(c.flightFree, f)
+}
+
 // makeSeg builds a segment skeleton with ports, ack, window and timestamp
 // filled from current state.
 func (c *Conn) makeSeg(flags Flags, payload buf.Buf) *Segment {
-	seg := &Segment{
-		SrcPort: c.cfg.LocalPort,
-		DstPort: c.cfg.RemotePort,
-		Flags:   flags,
-		Payload: payload,
-		WScale:  -1,
-	}
+	seg := NewSegment()
+	seg.SrcPort = c.cfg.LocalPort
+	seg.DstPort = c.cfg.RemotePort
+	seg.Flags = flags
+	seg.Payload = payload
 	if flags.Has(ACK) {
 		seg.Ack = c.rcvNxt
 	}

@@ -68,6 +68,10 @@ type Segment struct {
 	SACKPerm bool
 
 	Payload buf.Buf
+
+	// pooled marks segments drawn from NewSegment's sync.Pool; Release
+	// recycles only those, so literal and ParseHeader segments need no care.
+	pooled bool
 }
 
 // SegLen reports the sequence space the segment occupies (payload plus SYN
@@ -107,8 +111,14 @@ func (s *Segment) HeaderLen() int {
 // checksum placement (hardware, firmware, host) is a measured variable in
 // the paper.
 func (s *Segment) MarshalHeader() []byte {
+	return s.MarshalHeaderInto(make([]byte, s.HeaderLen()))
+}
+
+// MarshalHeaderInto is MarshalHeader writing into caller-provided scratch b,
+// which must hold at least HeaderLen bytes (44 covers every option set).
+func (s *Segment) MarshalHeaderInto(b []byte) []byte {
 	hlen := s.HeaderLen()
-	b := make([]byte, hlen)
+	b = b[:hlen]
 	binary.BigEndian.PutUint16(b[0:], s.SrcPort)
 	binary.BigEndian.PutUint16(b[2:], s.DstPort)
 	binary.BigEndian.PutUint32(b[4:], uint32(s.Seq))
@@ -117,7 +127,8 @@ func (s *Segment) MarshalHeader() []byte {
 	b[13] = byte(s.Flags)
 	binary.BigEndian.PutUint16(b[14:], s.Wnd)
 	// b[16:18] checksum zero; b[18:20] urgent pointer zero (urgent data
-	// unsupported, paper §4.1).
+	// unsupported, paper §4.1). Explicit because b may be reused scratch.
+	b[16], b[17], b[18], b[19] = 0, 0, 0, 0
 	o := BaseHeaderLen
 	if s.MSS != 0 {
 		b[o], b[o+1] = 2, 4

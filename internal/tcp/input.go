@@ -11,7 +11,8 @@ package tcp
 // transport checksum (in hardware, firmware or host code, whichever the
 // configuration models) and demultiplexed to this connection.
 func (c *Conn) Input(seg *Segment, now int64) Actions {
-	var a Actions
+	a := c.newActions()
+	defer c.finishActions(&a)
 	c.stats.SegsIn++
 	switch c.state {
 	case Closed:
@@ -212,14 +213,14 @@ func (c *Conn) processAck(seg *Segment, now int64, a *Actions) {
 		c.sampleRTT(seg, now)
 		partial := c.congAvoidOnAck(acked, ack)
 		c.dropAckedFlight(ack, now, a)
-		if partial && len(c.flight) > 0 {
+		if partial && c.flightLen() > 0 {
 			// NewReno: a partial ack during fast recovery means the next
 			// hole; retransmit it immediately. Vital here because the
 			// receiver keeps no out-of-order data (paper §4.1), so every
 			// segment behind a loss must be resent.
 			c.retransmitHead(now, a)
 		}
-		if len(c.flight) == 0 {
+		if c.flightLen() == 0 {
 			c.rexmtDeadline = 0
 		} else {
 			c.armRexmt(now)
@@ -254,8 +255,8 @@ func (c *Conn) sampleRTT(seg *Segment, now int64) {
 		}
 		return
 	}
-	if len(c.flight) > 0 {
-		head := c.flight[0]
+	if c.flightLen() > 0 {
+		head := c.flightFront()
 		if !head.rexmitted && head.seq.Add(head.segLen()).Leq(seg.Ack) {
 			c.rtt.Sample(now - head.sentAt)
 			c.stats.RTTSamples++
@@ -294,15 +295,16 @@ func (c *Conn) congAvoidOnAck(acked int, ack Seq) bool {
 // dropAckedFlight removes fully acknowledged segments from the
 // retransmission queue, trimming a partially acked head (stream mode).
 func (c *Conn) dropAckedFlight(ack Seq, now int64, a *Actions) {
-	for len(c.flight) > 0 {
-		f := c.flight[0]
+	for c.flightLen() > 0 {
+		f := c.flightFront()
 		end := f.seq.Add(f.segLen())
 		if end.Leq(ack) {
 			a.AckedBytes += f.payload.Len()
 			if f.isRecord {
 				a.AckedRecords++
 			}
-			c.flight = c.flight[1:]
+			c.popFlight()
+			c.freeFlightSeg(f)
 			continue
 		}
 		if f.seq.Lt(ack) && f.payload.Len() > 0 {
@@ -321,7 +323,7 @@ func (c *Conn) dropAckedFlight(ack Seq, now int64, a *Actions) {
 // fastRetransmit performs Reno fast retransmit/recovery on the third
 // duplicate ACK.
 func (c *Conn) fastRetransmit(now int64, a *Actions) {
-	if len(c.flight) == 0 {
+	if c.flightLen() == 0 {
 		return
 	}
 	c.stats.FastRetransmits++
@@ -339,7 +341,7 @@ func (c *Conn) fastRetransmit(now int64, a *Actions) {
 
 // retransmitHead re-sends the first unacknowledged segment.
 func (c *Conn) retransmitHead(now int64, a *Actions) {
-	f := c.flight[0]
+	f := c.flightFront()
 	f.rexmitted = true
 	f.sentAt = now
 	c.stats.Retransmits++

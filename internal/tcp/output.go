@@ -24,13 +24,12 @@ func (c *Conn) usableWindow() int {
 // pushFlight retains a transmitted segment for retransmission and advances
 // sndNxt over the sequence space it consumes.
 func (c *Conn) pushFlight(seg *Segment, now int64, isRecord bool) {
-	f := &flightSeg{
-		seq:      seg.Seq,
-		payload:  seg.Payload,
-		flags:    seg.Flags & (SYN | FIN),
-		sentAt:   now,
-		isRecord: isRecord,
-	}
+	f := c.newFlightSeg()
+	f.seq = seg.Seq
+	f.payload = seg.Payload
+	f.flags = seg.Flags & (SYN | FIN)
+	f.sentAt = now
+	f.isRecord = isRecord
 	c.flight = append(c.flight, f)
 	c.sndNxt = c.sndNxt.Add(f.segLen())
 }
@@ -55,7 +54,7 @@ func (c *Conn) output(now int64, a *Actions) {
 		}
 	}
 	c.managePersist(now)
-	if len(c.flight) > 0 && c.rexmtDeadline == 0 {
+	if c.flightLen() > 0 && c.rexmtDeadline == 0 {
 		c.armRexmt(now)
 	}
 }
@@ -65,8 +64,8 @@ func (c *Conn) output(now int64, a *Actions) {
 // arbitrary-size segments the window must admit at least one message or
 // the connection would deadlock (mirrors TCP's always-send-one-MSS rule).
 func (c *Conn) outputRecords(now int64, a *Actions) {
-	for len(c.pendingRecords) > 0 {
-		rec := c.pendingRecords[0]
+	for c.pendingRecHead < len(c.pendingRecords) {
+		rec := c.pendingRecords[c.pendingRecHead]
 		usable := c.usableWindow()
 		if rec.Len() > usable {
 			if c.sndNxt != c.sndUna {
@@ -83,7 +82,7 @@ func (c *Conn) outputRecords(now int64, a *Actions) {
 				return
 			}
 		}
-		c.pendingRecords = c.pendingRecords[1:]
+		c.popPendingRecord()
 		c.pendingLen -= rec.Len()
 		seg := c.makeSeg(ACK|PSH, rec)
 		seg.Seq = c.sndNxt
@@ -129,28 +128,61 @@ func (c *Conn) outputStream(now int64, a *Actions) {
 	}
 }
 
-// takePending removes n bytes from the head of the stream send queue.
+// takePending removes n bytes from the head of the stream send queue. The
+// common cases — the head entry covers the request exactly or with bytes to
+// spare — complete without allocating; only a take that spans queue entries
+// builds a parts slice for buf.Concat.
 func (c *Conn) takePending(n int) buf.Buf {
+	head := c.pendingBytes[c.pendingBytHead]
+	if n < head.Len() {
+		c.pendingBytes[c.pendingBytHead] = head.Slice(n, head.Len())
+		c.pendingLen -= n
+		return head.Slice(0, n)
+	}
+	if n == head.Len() {
+		c.popPendingByte()
+		c.pendingLen -= n
+		return head
+	}
 	var parts []buf.Buf
 	got := 0
 	for got < n {
-		head := c.pendingBytes[0]
+		head := c.pendingBytes[c.pendingBytHead]
 		take := n - got
 		if take >= head.Len() {
 			parts = append(parts, head)
 			got += head.Len()
-			c.pendingBytes = c.pendingBytes[1:]
+			c.popPendingByte()
 		} else {
 			parts = append(parts, head.Slice(0, take))
-			c.pendingBytes[0] = head.Slice(take, head.Len())
+			c.pendingBytes[c.pendingBytHead] = head.Slice(take, head.Len())
 			got += take
 		}
 	}
 	c.pendingLen -= n
-	if len(parts) == 1 {
-		return parts[0]
-	}
 	return buf.Concat(parts...)
+}
+
+// popPendingRecord retires the head record, clearing the slot so the drained
+// backing array does not pin delivered buffers, and resets the queue to its
+// start once empty.
+func (c *Conn) popPendingRecord() {
+	c.pendingRecords[c.pendingRecHead] = buf.Empty
+	c.pendingRecHead++
+	if c.pendingRecHead == len(c.pendingRecords) {
+		c.pendingRecords = c.pendingRecords[:0]
+		c.pendingRecHead = 0
+	}
+}
+
+// popPendingByte is popPendingRecord for the stream-mode queue.
+func (c *Conn) popPendingByte() {
+	c.pendingBytes[c.pendingBytHead] = buf.Empty
+	c.pendingBytHead++
+	if c.pendingBytHead == len(c.pendingBytes) {
+		c.pendingBytes = c.pendingBytes[:0]
+		c.pendingBytHead = 0
+	}
 }
 
 // outputFin transmits the queued FIN once all data is out.
@@ -177,7 +209,8 @@ func (c *Conn) windowBlocked() bool {
 	if c.cfg.Mode == Record {
 		// Mirror outputRecords' nothing-in-flight escape, including the
 		// window-scale truncation credit.
-		return len(c.pendingRecords) > 0 && c.pendingRecords[0].Len() > c.sndWnd+(1<<c.sndScale-1)
+		return c.pendingRecHead < len(c.pendingRecords) &&
+			c.pendingRecords[c.pendingRecHead].Len() > c.sndWnd+(1<<c.sndScale-1)
 	}
 	return c.sndWnd == 0
 }

@@ -26,7 +26,8 @@ func (c *Conn) NextTimeout() (deadline int64, ok bool) {
 
 // OnTimer dispatches every timer whose deadline has passed.
 func (c *Conn) OnTimer(now int64) Actions {
-	var a Actions
+	a := c.newActions()
+	defer c.finishActions(&a)
 	if d := c.rexmtDeadline; d != 0 && d <= now {
 		c.rexmtDeadline = 0
 		c.onRexmtTimeout(now, &a)
@@ -57,7 +58,7 @@ func (c *Conn) armRexmt(now int64) {
 // onRexmtTimeout retransmits the oldest outstanding segment with
 // exponential backoff and collapses the congestion window (RFC 2581).
 func (c *Conn) onRexmtTimeout(now int64, a *Actions) {
-	if len(c.flight) == 0 {
+	if c.flightLen() == 0 {
 		return
 	}
 	c.stats.Timeouts++

@@ -26,6 +26,13 @@ func (s *Stage) MeanMicros() float64 {
 	return s.Total.Micros() / float64(s.Count)
 }
 
+// Observe records one observation directly on the accumulator. Holders
+// obtained via Counter use this on hot paths to skip the map lookup.
+func (s *Stage) Observe(d sim.Time) {
+	s.Count++
+	s.Total += d
+}
+
 // Stages is a set of named stage timers.
 type Stages struct {
 	m map[string]*Stage
@@ -45,6 +52,18 @@ func (s *Stages) Add(name string, d sim.Time) {
 	st.Total += d
 }
 
+// Counter returns the named stage accumulator, creating it if needed. The
+// pointer stays valid across Reset (which zeroes accumulators in place), so
+// callers can resolve it once and Observe per event with no map lookup.
+func (s *Stages) Counter(name string) *Stage {
+	st := s.m[name]
+	if st == nil {
+		st = &Stage{}
+		s.m[name] = st
+	}
+	return st
+}
+
 // Get returns the named stage (nil if never observed).
 func (s *Stages) Get(name string) *Stage { return s.m[name] }
 
@@ -58,18 +77,26 @@ func (s *Stages) Mean(name string) float64 {
 	return st.MeanMicros()
 }
 
-// Names reports all observed stage names, sorted.
+// Names reports all stage names with at least one observation, sorted.
+// Counters resolved eagerly but never observed stay invisible.
 func (s *Stages) Names() []string {
 	out := make([]string, 0, len(s.m))
-	for k := range s.m {
-		out = append(out, k)
+	for k, st := range s.m {
+		if st.Count > 0 {
+			out = append(out, k)
+		}
 	}
 	sort.Strings(out)
 	return out
 }
 
-// Reset clears all stages.
-func (s *Stages) Reset() { s.m = make(map[string]*Stage) }
+// Reset zeroes all stages in place, preserving pointers handed out by
+// Counter.
+func (s *Stages) Reset() {
+	for _, st := range s.m {
+		st.Count, st.Total = 0, 0
+	}
+}
 
 // String renders the stage table.
 func (s *Stages) String() string {

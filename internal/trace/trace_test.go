@@ -36,10 +36,19 @@ func TestStagesNamesSorted(t *testing.T) {
 
 func TestStagesReset(t *testing.T) {
 	s := NewStages()
+	ctr := s.Counter("x")
 	s.Add("x", 100)
 	s.Reset()
-	if s.Get("x") != nil {
+	if st := s.Get("x"); st != nil && st.Count != 0 {
 		t.Error("Reset did not clear")
+	}
+	if len(s.Names()) != 0 {
+		t.Errorf("Names after Reset = %v, want none", s.Names())
+	}
+	// Counter pointers survive Reset so hot paths can cache them.
+	ctr.Observe(200)
+	if got := s.Mean("x"); got != 0.2 {
+		t.Errorf("Mean after Reset+Observe = %v, want 0.2", got)
 	}
 }
 

@@ -30,9 +30,10 @@ type Datagram struct {
 	Payload buf.Buf
 }
 
-// marshalRaw serializes the header with the given checksum field.
-func marshalRaw(h *Header, ck uint16) []byte {
-	b := make([]byte, HeaderLen)
+// marshalRawInto serializes the header with the given checksum field into
+// b, which must hold at least HeaderLen bytes.
+func marshalRawInto(h *Header, ck uint16, b []byte) []byte {
+	b = b[:HeaderLen]
 	binary.BigEndian.PutUint16(b[0:], h.SrcPort)
 	binary.BigEndian.PutUint16(b[2:], h.DstPort)
 	binary.BigEndian.PutUint16(b[4:], h.Length)
@@ -44,24 +45,37 @@ func marshalRaw(h *Header, ck uint16) []byte {
 // transport checksum (RFC 2460 requires UDP checksums under IPv6; a computed
 // zero is transmitted as 0xffff).
 func Marshal6(src, dst inet.Addr6, srcPort, dstPort uint16, payload buf.Buf) []byte {
+	return Marshal6Into(src, dst, srcPort, dstPort, payload, make([]byte, HeaderLen))
+}
+
+// Marshal6Into is Marshal6 writing into caller-provided scratch b; the
+// header is marshaled once and the checksum patched in place.
+func Marshal6Into(src, dst inet.Addr6, srcPort, dstPort uint16, payload buf.Buf, b []byte) []byte {
 	h := Header{SrcPort: srcPort, DstPort: dstPort, Length: uint16(HeaderLen + payload.Len())}
-	zero := marshalRaw(&h, 0)
-	ck := inet.TransportChecksum6(src, dst, inet.ProtoUDP, zero, payload)
+	b = marshalRawInto(&h, 0, b)
+	ck := inet.TransportChecksum6(src, dst, inet.ProtoUDP, b, payload)
 	if ck == 0 {
 		ck = 0xffff
 	}
-	return marshalRaw(&h, ck)
+	binary.BigEndian.PutUint16(b[6:], ck)
+	return b
 }
 
 // Marshal4 serializes a datagram for IPv4 carriage.
 func Marshal4(src, dst inet.Addr4, srcPort, dstPort uint16, payload buf.Buf) []byte {
+	return Marshal4Into(src, dst, srcPort, dstPort, payload, make([]byte, HeaderLen))
+}
+
+// Marshal4Into is Marshal4 writing into caller-provided scratch b.
+func Marshal4Into(src, dst inet.Addr4, srcPort, dstPort uint16, payload buf.Buf, b []byte) []byte {
 	h := Header{SrcPort: srcPort, DstPort: dstPort, Length: uint16(HeaderLen + payload.Len())}
-	zero := marshalRaw(&h, 0)
-	ck := inet.TransportChecksum4(src, dst, inet.ProtoUDP, zero, payload)
+	b = marshalRawInto(&h, 0, b)
+	ck := inet.TransportChecksum4(src, dst, inet.ProtoUDP, b, payload)
 	if ck == 0 {
 		ck = 0xffff
 	}
-	return marshalRaw(&h, ck)
+	binary.BigEndian.PutUint16(b[6:], ck)
+	return b
 }
 
 // Parse errors.

@@ -10,9 +10,13 @@ import (
 // (paper §2.1). Polling spins in the processor cache (paper §5.1), so an
 // empty poll is nearly free while a successful poll pays the reap cost.
 type CQ struct {
-	dev      Device
-	depth    int
+	dev   Device
+	depth int
+	// entries drains through head so the steady-state push/poll cycle
+	// reuses one backing array. Popped slots are cleared so reaped
+	// completions don't pin their payload buffers.
 	entries  []Completion
+	head     int
 	waiter   *sim.Proc
 	overflow uint64
 	// overflowPending arms the synthetic StatusCQOverflow completion the
@@ -37,7 +41,7 @@ func NewCQ(dev Device, depth int) *CQ {
 func (c *CQ) Depth() int { return c.depth }
 
 // Len reports queued completions.
-func (c *CQ) Len() int { return len(c.entries) }
+func (c *CQ) Len() int { return len(c.entries) - c.head }
 
 // Overflows reports completions dropped because the CQ was full — always a
 // sizing bug in the application, never silent.
@@ -54,14 +58,14 @@ func (c *CQ) MaxLen() int { return c.maxLen }
 // StatusCQOverflow completion is armed so the application observes the
 // loss when it next drains the queue.
 func (c *CQ) Push(comp Completion) {
-	if len(c.entries) >= c.depth {
+	if c.Len() >= c.depth {
 		c.overflow++
 		c.overflowPending = true
 		return
 	}
 	c.entries = append(c.entries, comp)
-	if len(c.entries) > c.maxLen {
-		c.maxLen = len(c.entries)
+	if c.Len() > c.maxLen {
+		c.maxLen = c.Len()
 	}
 	if c.waiter != nil {
 		w := c.waiter
@@ -74,7 +78,7 @@ func (c *CQ) Push(comp Completion) {
 // attempt. It is the QPIP analog of a non-blocking select() (paper §3).
 func (c *CQ) Poll(p *sim.Proc) (Completion, bool) {
 	c.polls++
-	if len(c.entries) == 0 {
+	if c.Len() == 0 {
 		if c.overflowPending {
 			c.overflowPending = false
 			p.Use(c.dev.HostCPU().Server, params.US(params.VerbsPollUS))
@@ -85,8 +89,12 @@ func (c *CQ) Poll(p *sim.Proc) (Completion, bool) {
 		return Completion{}, false
 	}
 	p.Use(c.dev.HostCPU().Server, params.US(params.VerbsPollUS))
-	comp := c.entries[0]
-	c.entries = c.entries[1:]
+	comp := c.entries[c.head]
+	c.entries[c.head] = Completion{}
+	c.head++
+	if c.head == len(c.entries) {
+		c.entries, c.head = c.entries[:0], 0
+	}
 	return comp, true
 }
 

@@ -18,11 +18,16 @@ type QP struct {
 	SendCQ    *CQ
 	RecvCQ    *CQ
 
-	dev        Device
-	state      QPState
-	err        error
+	dev   Device
+	state QPState
+	err   error
+	// Both WR queues drain through head indices so steady-state post/take
+	// traffic reuses one backing array; taken slots are cleared so consumed
+	// WRs don't pin their payload buffers.
 	sendQ      []SendWR
+	sendHead   int
 	recvQ      []RecvWR
+	recvHead   int
 	sendDepth  int
 	recvDepth  int
 	outSend    int // posted send WRs not yet completed
@@ -197,27 +202,35 @@ func (q *QP) Close() {
 // TakeSendWR consumes the oldest posted send WR (the firmware's Get WR
 // stage has been charged by the caller).
 func (q *QP) TakeSendWR() (SendWR, bool) {
-	if len(q.sendQ) == 0 {
+	if q.sendHead >= len(q.sendQ) {
 		return SendWR{}, false
 	}
-	wr := q.sendQ[0]
-	q.sendQ = q.sendQ[1:]
+	wr := q.sendQ[q.sendHead]
+	q.sendQ[q.sendHead] = SendWR{}
+	q.sendHead++
+	if q.sendHead == len(q.sendQ) {
+		q.sendQ, q.sendHead = q.sendQ[:0], 0
+	}
 	return wr, true
 }
 
 // TakeRecvWR consumes the oldest posted receive WR.
 func (q *QP) TakeRecvWR() (RecvWR, bool) {
-	if len(q.recvQ) == 0 {
+	if q.recvHead >= len(q.recvQ) {
 		return RecvWR{}, false
 	}
-	wr := q.recvQ[0]
-	q.recvQ = q.recvQ[1:]
+	wr := q.recvQ[q.recvHead]
+	q.recvQ[q.recvHead] = RecvWR{}
+	q.recvHead++
+	if q.recvHead == len(q.recvQ) {
+		q.recvQ, q.recvHead = q.recvQ[:0], 0
+	}
 	q.postedRecv -= wr.Capacity
 	return wr, true
 }
 
 // PendingSendWRs reports posted-but-unconsumed send WRs.
-func (q *QP) PendingSendWRs() int { return len(q.sendQ) }
+func (q *QP) PendingSendWRs() int { return len(q.sendQ) - q.sendHead }
 
 // PostedRecvBytes reports unconsumed receive capacity; the firmware
 // advertises it as the TCP receive window.
@@ -265,16 +278,16 @@ func (q *QP) Flush() { q.FlushWith(StatusFlushed) }
 
 // FlushWith completes all posted-but-unconsumed WRs with status.
 func (q *QP) FlushWith(status Status) {
-	for _, wr := range q.sendQ {
+	for _, wr := range q.sendQ[q.sendHead:] {
 		q.outSend--
 		q.SendCQ.Push(Completion{QPN: q.QPN, WRID: wr.ID, Op: OpSend, Status: status})
 	}
-	q.sendQ = nil
-	for _, wr := range q.recvQ {
+	q.sendQ, q.sendHead = nil, 0
+	for _, wr := range q.recvQ[q.recvHead:] {
 		q.outRecv--
 		q.RecvCQ.Push(Completion{QPN: q.QPN, WRID: wr.ID, Op: OpRecv, Status: status})
 	}
-	q.recvQ = nil
+	q.recvQ, q.recvHead = nil, 0
 	q.postedRecv = 0
 }
 

@@ -1,0 +1,50 @@
+package qpip_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/pool"
+	"repro/internal/sim"
+)
+
+// TestPoolingAndWheelPreserveDeterminism is the PR-2 regression gate: the
+// timer wheel, event free list and datapath pools are pure mechanism — the
+// simulated world must be bit-for-bit the one the legacy binary heap and
+// per-packet allocations produced. Each seed runs the chaos transfer (drops,
+// corruption, duplication, jitter) once with every optimization disabled and
+// once with everything enabled; the injector trace, completion order,
+// delivered bytes and end-of-simulation clock must match exactly.
+func TestPoolingAndWheelPreserveDeterminism(t *testing.T) {
+	defer sim.SetLegacyQueue(false)
+	defer pool.SetEnabled(true)
+
+	run := func(legacy, pooled bool, seed uint64) chaosResult {
+		sim.SetLegacyQueue(legacy)
+		pool.SetEnabled(pooled)
+		return runChaosTransfer(t, seed, 48, 8192)
+	}
+
+	for _, seed := range []uint64{0x51EE7, 0xC0FFEE, 7, 0xBEEF} {
+		old := run(true, false, seed)
+		if t.Failed() {
+			return
+		}
+		new := run(false, true, seed)
+		if t.Failed() {
+			return
+		}
+		if old.trace != new.trace {
+			t.Errorf("seed %#x: fault trace diverged between legacy and optimized engines", seed)
+		}
+		if old.endTime != new.endTime {
+			t.Errorf("seed %#x: end time diverged: legacy %v, optimized %v", seed, old.endTime, new.endTime)
+		}
+		if old.statuses != new.statuses {
+			t.Errorf("seed %#x: completion sequence diverged", seed)
+		}
+		if !bytes.Equal(old.received, new.received) {
+			t.Errorf("seed %#x: delivered bytes diverged", seed)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+#!/bin/sh
+# bench_seed.sh — measure the pre-PR-2 simulator's ttcp event throughput.
+#
+# Checks out the seed commit (the tree as it was before the performance
+# work) into a throwaway git worktree, drops scripts/seedperf_main.go.tmpl
+# in as cmd/seedperf/main.go, and runs it. Prints one JSON object on
+# stdout:
+#
+#   {"config":"seed commit","wall_seconds":...,"events_fired":...,
+#    "events_per_sec":...,"sim_mbps":...}
+#
+# Usage: scripts/bench_seed.sh [BYTES] [REPEATS]
+set -eu
+
+SEED_COMMIT=${SEED_COMMIT:-71591615beaf221f3798408dbb9d93ef1f9887ea}
+BYTES=${1:-4194304}
+REPEATS=${2:-3}
+
+root=$(git rev-parse --show-toplevel)
+wt="$root/.seedbench-worktree"
+
+cleanup() {
+	git -C "$root" worktree remove --force "$wt" >/dev/null 2>&1 || true
+	rm -rf "$wt"
+}
+trap cleanup EXIT INT TERM
+
+cleanup
+git -C "$root" worktree add --detach "$wt" "$SEED_COMMIT" >/dev/null
+mkdir -p "$wt/cmd/seedperf"
+cp "$root/scripts/seedperf_main.go.tmpl" "$wt/cmd/seedperf/main.go"
+cd "$wt"
+go build ./cmd/seedperf
+./seedperf -bytes "$BYTES" -repeats "$REPEATS"
