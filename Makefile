@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz check bench microbench chaos
+.PHONY: build test vet staticcheck race fuzz check bench microbench chaos
 
-# Official PR-2 performance measurement size and repetitions.
+# Official performance measurement size and repetitions.
 BENCH_BYTES ?= 33554432
 BENCH_REPEATS ?= 5
 
@@ -14,6 +14,15 @@ test: build
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck is optional tooling: run it when installed, note the skip
+# when not (CI images without it still pass the gate on vet + tests).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: not installed, skipping (go vet still enforced)"; \
+	fi
 
 race:
 	$(GO) test -race ./...
@@ -28,19 +37,22 @@ fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzVerify4 -fuzztime=5s ./internal/udp
 
 # The verification gate: static analysis, the full suite under the race
-# detector, the plain suite (also exercises the fuzz seed corpora), and a
-# one-shot perf smoke so a broken harness fails the gate, not the bench run.
-check: vet race test
+# detector, the plain suite (also exercises the fuzz seed corpora), a
+# one-shot perf smoke so a broken harness fails the gate, not the bench
+# run, and the perf guard (the batched boundary must be no slower in wall
+# clock than the per-token datapath).
+check: vet staticcheck race test
 	$(GO) run ./cmd/qpipbench -exp perf -bytes 1048576 -perf-repeats 1 >/dev/null
+	$(GO) run ./cmd/qpipbench -exp perfguard -bytes 4194304
 
-# Regenerate BENCH_PR2.json: microbenchmarks, the seed-commit baseline
+# Regenerate BENCH_PR4.json: microbenchmarks, the seed-commit baseline
 # (built from a throwaway worktree of the pre-PR tree), and the in-binary
 # A/B comparison with the seed measurement folded in.
 bench: microbench
 	scripts/bench_seed.sh $(BENCH_BYTES) $(BENCH_REPEATS) > /tmp/seed_baseline.json
 	$(GO) run ./cmd/qpipbench -exp perf -bytes $(BENCH_BYTES) \
 		-perf-repeats $(BENCH_REPEATS) \
-		-seed-json /tmp/seed_baseline.json -json BENCH_PR2.json
+		-seed-json /tmp/seed_baseline.json -json BENCH_PR4.json
 
 microbench:
 	$(GO) test -bench=. -benchmem ./internal/sim/ ./internal/tcp/ ./internal/fabric/

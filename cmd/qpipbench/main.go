@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	qpipbench [-exp all|fig3|fig4|table1|table2|table3|fig7|chaos|ablations|perf]
+//	qpipbench [-exp all|fig3|fig4|table1|table2|table3|fig7|chaos|ablations|irq|perf|perfguard]
 //	          [-bytes N] [-nbd-bytes N] [-iters N] [-full]
 //	          [-parallel N] [-cpuprofile FILE] [-memprofile FILE]
 //	          [-json FILE] [-seed-json FILE] [-perf-repeats N]
@@ -15,7 +15,10 @@
 // cluster) across up to N goroutines; 0 means GOMAXPROCS. Reports are
 // byte-identical to a sequential run. -exp perf compares the optimized
 // engine against the seed's mechanisms and, with -json, writes the
-// machine-readable report (BENCH_PR2.json).
+// machine-readable report (BENCH_PR4.json). -exp irq sweeps the CQ
+// interrupt-coalescing delay (latency vs host CPU). -exp perfguard checks
+// the batched boundary is no slower than the per-token datapath and exits
+// nonzero on regression (CI smoke).
 package main
 
 import (
@@ -29,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig3, fig4, table1, table2, table3, fig7, chaos, ablations, perf")
+	exp := flag.String("exp", "all", "experiment: all, fig3, fig4, table1, table2, table3, fig7, chaos, ablations, irq, perf, perfguard")
 	bytes := flag.Int("bytes", 4<<20, "ttcp transfer size in bytes")
 	nbdBytes := flag.Int("nbd-bytes", 64<<20, "NBD benchmark size in bytes")
 	iters := flag.Int("iters", 50, "ping-pong iterations for latency experiments")
@@ -94,6 +97,7 @@ func main() {
 	run("table3", mark(func() { fmt.Print(bench.RenderTable3(bench.Table3(*iters))) }))
 	run("fig7", mark(func() { fmt.Print(bench.RenderFigure7(bench.Figure7(*nbdBytes))) }))
 	run("chaos", mark(func() { fmt.Print(bench.RenderChaos(bench.Chaos(*bytes))) }))
+	run("irq", mark(func() { fmt.Print(bench.RenderIRQ(bench.IRQAblation(*bytes, *iters))) }))
 	run("ablations", mark(func() {
 		fmt.Print(bench.RenderAblation(bench.AblationChecksum(*bytes)))
 		fmt.Println()
@@ -126,6 +130,16 @@ func main() {
 			fmt.Printf("wrote %s\n", *jsonPath)
 		}
 	}))
+
+	// perfguard is CI-only: never part of -exp all, exits 1 on regression.
+	if *exp == "perfguard" {
+		ran = true
+		report, ok := bench.PerfGuard(*bytes)
+		fmt.Print(report)
+		if !ok {
+			os.Exit(1)
+		}
+	}
 
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/params"
 	"repro/internal/qpipnic"
+	"repro/internal/trace"
 )
 
 // ChaosSeed is the fixed fault-plan seed of the loss sweep; rerunning
@@ -22,6 +23,27 @@ type ChaosRow struct {
 	MBps    float64
 	Retrans uint64
 	Drops   uint64 // frames the injector actually ate
+	// Corrupts counts frames both nodes' receivers rejected on checksum
+	// (rx.corrupt); DBDrops counts doorbell-FIFO overruns at the host↔NIC
+	// boundary (db.drop, QPIP only) — backpressure the batched datapath
+	// must absorb rather than hide.
+	Corrupts uint64
+	DBDrops  uint64
+}
+
+// clusterNet sums the fault-visible counters of every adapter in the
+// cluster (both nodes) into one view.
+func clusterNet(cl *core.Cluster) *trace.Counters {
+	sum := trace.NewCounters()
+	for _, n := range cl.Nodes {
+		if n.QPIP != nil {
+			sum.AddAll(n.QPIP.Net)
+		}
+		if n.Kernel != nil {
+			sum.AddAll(n.Kernel.Net)
+		}
+	}
+	return sum
 }
 
 // chaosDropRates are the swept per-frame drop probabilities (percent).
@@ -53,17 +75,22 @@ func Chaos(totalBytes int) []ChaosRow {
 
 		if i%2 == 0 {
 			q := qpipTtcp(params.MTUQPIP, qpipnic.ChecksumEmulatedHW, totalBytes, nil, attach)
+			net := clusterNet(cl)
 			rows[i] = ChaosRow{
 				Stack: QPIP, DropPct: pct, MBps: q.MBps,
-				Retrans: cl.Nodes[0].QPIP.Net.Get("tx.retransmit"),
-				Drops:   inj.Stats().Drops,
+				Retrans:  cl.Nodes[0].QPIP.Net.Get("tx.retransmit"),
+				Drops:    inj.Stats().Drops,
+				Corrupts: net.Get("rx.corrupt"),
+				DBDrops:  net.Get("db.drop"),
 			}
 		} else {
 			g := sockTtcp(IPGigE, totalBytes, nil, attach)
+			net := clusterNet(cl)
 			rows[i] = ChaosRow{
 				Stack: IPGigE, DropPct: pct, MBps: g.MBps,
-				Retrans: cl.Nodes[0].Kernel.Net.Get("tx.retransmit"),
-				Drops:   inj.Stats().Drops,
+				Retrans:  cl.Nodes[0].Kernel.Net.Get("tx.retransmit"),
+				Drops:    inj.Stats().Drops,
+				Corrupts: net.Get("rx.corrupt"),
 			}
 		}
 	})
@@ -74,10 +101,11 @@ func Chaos(totalBytes int) []ChaosRow {
 func RenderChaos(rows []ChaosRow) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Chaos loss sweep: ttcp under seeded frame loss (seed 0x%X)\n", ChaosSeed)
-	fmt.Fprintf(&b, "%-12s %8s %12s %12s %10s\n", "stack", "loss", "MB/s", "retransmits", "dropped")
+	fmt.Fprintf(&b, "%-12s %8s %12s %12s %10s %10s %9s\n",
+		"stack", "loss", "MB/s", "retransmits", "dropped", "corrupts", "db.drops")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-12s %7.1f%% %12.1f %12d %10d\n",
-			r.Stack, r.DropPct, r.MBps, r.Retrans, r.Drops)
+		fmt.Fprintf(&b, "%-12s %7.1f%% %12.1f %12d %10d %10d %9d\n",
+			r.Stack, r.DropPct, r.MBps, r.Retrans, r.Drops, r.Corrupts, r.DBDrops)
 	}
 	return b.String()
 }

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/buf"
 	"repro/internal/core"
+	"repro/internal/hw"
 	"repro/internal/params"
 	"repro/internal/pool"
 	"repro/internal/qpipnic"
@@ -35,13 +36,21 @@ type PerfVariant struct {
 	SimMBps      float64 `json:"sim_mbps"`
 }
 
-// PerfTtcp compares the two configurations on the ttcp transfer.
+// PerfTtcp compares the engine/boundary configurations on the ttcp
+// transfer.
 type PerfTtcp struct {
-	Workload            string      `json:"workload"`
-	Baseline            PerfVariant `json:"baseline"`
+	Workload string      `json:"workload"`
+	Baseline PerfVariant `json:"baseline"`
+	// PerToken is the optimized engine with the per-token host↔NIC
+	// boundary (PR2's datapath); Optimized adds the batched boundary.
+	PerToken            PerfVariant `json:"per_token"`
 	Optimized           PerfVariant `json:"optimized"`
 	SpeedupEventsPerSec float64     `json:"speedup_events_per_sec"`
 	SpeedupWall         float64     `json:"speedup_wall_clock"`
+	// SpeedupVsPerToken isolates the batched-boundary win: fired-event
+	// reduction and wall-clock change against the per-token datapath on
+	// the same engine.
+	SpeedupVsPerToken float64 `json:"speedup_vs_per_token"`
 	// SeedBaseline, when present, is the same workload measured on the
 	// actual seed-commit binary (scripts/bench_seed.sh), not the in-binary
 	// legacy-knob approximation above. SpeedupVsSeed is the honest ratio
@@ -205,20 +214,26 @@ func Perf(totalBytes, repeats int) PerfReport {
 	rep.SendPath.Workload = "record-mode TCP send→deliver→ack round trip, 4 KB records"
 
 	// Baseline: the seed's mechanisms — binary-heap event queue with
-	// per-schedule allocation, no datapath pooling.
+	// per-schedule allocation, no datapath pooling, per-token boundary.
 	sim.SetLegacyQueue(true)
 	pool.SetEnabled(false)
+	hw.SetBatchedBoundary(false)
 	rep.Ttcp.Baseline = measureTtcp("legacy heap, pooling off", totalBytes, repeats)
 	rep.SendPath.BaselineAllocsPerOp = sendPathAllocs(false, 4096)
 
-	// Optimized: timer wheel + event free list + pooled datapath.
+	// Per-token: the PR2 datapath — optimized engine, batched boundary off.
 	sim.SetLegacyQueue(false)
 	pool.SetEnabled(true)
-	rep.Ttcp.Optimized = measureTtcp("timer wheel, pooling on", totalBytes, repeats)
+	rep.Ttcp.PerToken = measureTtcp("timer wheel, per-token boundary", totalBytes, repeats)
+
+	// Optimized: timer wheel + pooled datapath + batched boundary.
+	hw.SetBatchedBoundary(true)
+	rep.Ttcp.Optimized = measureTtcp("timer wheel, batched boundary", totalBytes, repeats)
 	rep.SendPath.OptimizedAllocsPerOp = sendPathAllocs(true, 4096)
 
 	rep.Ttcp.SpeedupEventsPerSec = rep.Ttcp.Optimized.EventsPerSec / rep.Ttcp.Baseline.EventsPerSec
 	rep.Ttcp.SpeedupWall = rep.Ttcp.Baseline.WallSeconds / rep.Ttcp.Optimized.WallSeconds
+	rep.Ttcp.SpeedupVsPerToken = rep.Ttcp.PerToken.WallSeconds / rep.Ttcp.Optimized.WallSeconds
 	if rep.SendPath.OptimizedAllocsPerOp > 0 {
 		rep.SendPath.ReductionFactor = rep.SendPath.BaselineAllocsPerOp / rep.SendPath.OptimizedAllocsPerOp
 	} else {
@@ -248,15 +263,17 @@ func RenderPerf(r PerfReport) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Simulator performance: optimized engine vs seed mechanisms\n")
 	fmt.Fprintf(&b, "ttcp workload: %s\n", r.Ttcp.Workload)
-	fmt.Fprintf(&b, "%-28s %10s %14s %14s %10s\n", "config", "wall (s)", "events", "events/s", "sim MB/s")
-	for _, v := range []PerfVariant{r.Ttcp.Baseline, r.Ttcp.Optimized} {
-		fmt.Fprintf(&b, "%-28s %10.3f %14d %14.0f %10.1f\n",
+	fmt.Fprintf(&b, "%-32s %10s %14s %14s %10s\n", "config", "wall (s)", "events", "events/s", "sim MB/s")
+	for _, v := range []PerfVariant{r.Ttcp.Baseline, r.Ttcp.PerToken, r.Ttcp.Optimized} {
+		fmt.Fprintf(&b, "%-32s %10.3f %14d %14.0f %10.1f\n",
 			v.Config, v.WallSeconds, v.Events, v.EventsPerSec, v.SimMBps)
 	}
 	fmt.Fprintf(&b, "events/sec speedup: %.2fx, wall-clock speedup: %.2fx\n",
 		r.Ttcp.SpeedupEventsPerSec, r.Ttcp.SpeedupWall)
+	fmt.Fprintf(&b, "wall-clock speedup vs per-token boundary: %.2fx\n",
+		r.Ttcp.SpeedupVsPerToken)
 	if v := r.Ttcp.SeedBaseline; v != nil {
-		fmt.Fprintf(&b, "%-28s %10.3f %14d %14.0f %10.1f\n",
+		fmt.Fprintf(&b, "%-32s %10.3f %14d %14.0f %10.1f\n",
 			v.Config, v.WallSeconds, v.Events, v.EventsPerSec, v.SimMBps)
 		fmt.Fprintf(&b, "events/sec speedup vs seed commit: %.2fx\n", r.Ttcp.SpeedupVsSeed)
 	}
@@ -269,6 +286,37 @@ func RenderPerf(r PerfReport) string {
 		fmt.Fprintf(&b, " (%.1fx fewer)\n", r.SendPath.ReductionFactor)
 	}
 	return b.String()
+}
+
+// PerfGuard is the CI perf-smoke gate: it runs the ttcp workload on the
+// optimized engine under both boundary modes and fails if batched mode is
+// slower in wall clock than the per-token path beyond the tolerance (the
+// batched boundary must never be a regression). Returns a human-readable
+// report and pass/fail.
+func PerfGuard(totalBytes int) (string, bool) {
+	if totalBytes <= 0 {
+		totalBytes = 4 << 20
+	}
+	sim.SetLegacyQueue(false)
+	pool.SetEnabled(true)
+	hw.SetBatchedBoundary(false)
+	perTok := measureTtcp("timer wheel, per-token boundary", totalBytes, 2)
+	hw.SetBatchedBoundary(true)
+	batched := measureTtcp("timer wheel, batched boundary", totalBytes, 2)
+
+	const tolerance = 0.90 // allow 10% wall-clock noise
+	ok := batched.WallSeconds <= perTok.WallSeconds/tolerance
+	var b strings.Builder
+	fmt.Fprintf(&b, "perf guard: qpip ttcp %d bytes\n", totalBytes)
+	for _, v := range []PerfVariant{perTok, batched} {
+		fmt.Fprintf(&b, "%-32s %10.3fs %12d events %10.1f sim MB/s\n",
+			v.Config, v.WallSeconds, v.Events, v.SimMBps)
+	}
+	fmt.Fprintf(&b, "batched/per-token wall ratio: %.2f (events %.2fx fewer) — %s\n",
+		batched.WallSeconds/perTok.WallSeconds,
+		float64(perTok.Events)/float64(batched.Events),
+		map[bool]string{true: "PASS", false: "FAIL"}[ok])
+	return b.String(), ok
 }
 
 // WritePerfJSON writes the report as indented JSON.

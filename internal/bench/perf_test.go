@@ -7,18 +7,30 @@ import (
 	"repro/internal/sim"
 )
 
-// TestPerfReportShape smokes the PR-2 A/B harness at a tiny size: both
-// configurations must simulate the identical world (same event count, same
-// simulated throughput) and the optimized send path must allocate less.
+// TestPerfReportShape smokes the A/B harness at a tiny size. The legacy
+// and per-token configurations differ only in engine mechanism, so they
+// must simulate the identical world (same event count, same simulated
+// throughput). The batched boundary is a real protocol change: it must
+// fire strictly fewer events (vectored doorbells and completion trains
+// collapse activations) while simulating throughput at least as good. The
+// optimized send path must allocate less.
 func TestPerfReportShape(t *testing.T) {
 	rep := Perf(256*1024, 1)
-	if rep.Ttcp.Baseline.Events != rep.Ttcp.Optimized.Events {
-		t.Errorf("event counts diverged: baseline %d, optimized %d",
-			rep.Ttcp.Baseline.Events, rep.Ttcp.Optimized.Events)
+	if rep.Ttcp.Baseline.Events != rep.Ttcp.PerToken.Events {
+		t.Errorf("event counts diverged: baseline %d, per-token %d",
+			rep.Ttcp.Baseline.Events, rep.Ttcp.PerToken.Events)
 	}
-	if rep.Ttcp.Baseline.SimMBps != rep.Ttcp.Optimized.SimMBps {
-		t.Errorf("simulated throughput diverged: baseline %.3f, optimized %.3f",
-			rep.Ttcp.Baseline.SimMBps, rep.Ttcp.Optimized.SimMBps)
+	if rep.Ttcp.Baseline.SimMBps != rep.Ttcp.PerToken.SimMBps {
+		t.Errorf("simulated throughput diverged: baseline %.3f, per-token %.3f",
+			rep.Ttcp.Baseline.SimMBps, rep.Ttcp.PerToken.SimMBps)
+	}
+	if rep.Ttcp.Optimized.Events >= rep.Ttcp.PerToken.Events {
+		t.Errorf("batched boundary fired %d events, want fewer than per-token's %d",
+			rep.Ttcp.Optimized.Events, rep.Ttcp.PerToken.Events)
+	}
+	if rep.Ttcp.Optimized.SimMBps < rep.Ttcp.PerToken.SimMBps {
+		t.Errorf("batched boundary regressed simulated throughput: %.3f < %.3f",
+			rep.Ttcp.Optimized.SimMBps, rep.Ttcp.PerToken.SimMBps)
 	}
 	if rep.SendPath.OptimizedAllocsPerOp >= rep.SendPath.BaselineAllocsPerOp {
 		t.Errorf("send path allocs did not improve: baseline %.2f, optimized %.2f",

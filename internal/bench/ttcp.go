@@ -53,6 +53,7 @@ func qpipTtcp(mtu int, cs qpipnic.ChecksumMode, total int, tweak func(*core.Node
 	var start, end sim.Time
 	var sndBusy0, rcvBusy0, nicBusy0 sim.Time
 
+	const batch = 16 // WRs per batch verb call
 	c.Spawn("server", func(p *sim.Proc) {
 		qp, _, rcq, err := newRC(c.Nodes[1], 2*window)
 		if err != nil {
@@ -66,26 +67,31 @@ func qpipTtcp(mtu int, cs qpipnic.ChecksumMode, total int, tweak func(*core.Node
 		if err := qp.WaitEstablished(p); err != nil {
 			panic(err)
 		}
-		posted := 0
-		for posted < nMsgs && posted < window {
-			qp.PostRecv(p, verbs.RecvWR{ID: uint64(posted), Capacity: msgSize})
-			posted++
+		var rwrs [batch]verbs.RecvWR
+		var comps [window]verbs.Completion
+		posted, got := 0, 0
+		postMore := func() {
+			for posted < nMsgs && posted-got < window {
+				b := 0
+				for b < batch && posted+b < nMsgs && (posted+b)-got < window {
+					rwrs[b] = verbs.RecvWR{ID: uint64(posted + b), Capacity: msgSize}
+					b++
+				}
+				k, err := qp.PostRecvN(p, rwrs[:b])
+				if err != nil {
+					panic(err)
+				}
+				posted += k
+			}
 		}
-		for got := 0; got < nMsgs; {
+		postMore()
+		for got < nMsgs {
 			rcq.Wait(p)
 			got++
 			// Reap whatever else already completed: one wakeup covers a
 			// batch, as a real blocked receiver would see.
-			for {
-				if _, ok := rcq.Poll(p); !ok {
-					break
-				}
-				got++
-			}
-			for posted < nMsgs && posted-got < window {
-				qp.PostRecv(p, verbs.RecvWR{ID: uint64(posted), Capacity: msgSize})
-				posted++
-			}
+			got += rcq.PollN(p, comps[:])
+			postMore()
 		}
 		end = p.Now()
 	})
@@ -101,22 +107,27 @@ func qpipTtcp(mtu int, cs qpipnic.ChecksumMode, total int, tweak func(*core.Node
 		sndBusy0 = c.Nodes[0].CPU.BusyTotal()
 		rcvBusy0 = c.Nodes[1].CPU.BusyTotal()
 		nicBusy0 = c.Nodes[0].QPIP.CPU().BusyTotal()
+		var wrs [batch]verbs.SendWR
+		var comps [window]verbs.Completion
 		inFlight, sent := 0, 0
 		for sent < nMsgs {
 			for inFlight < window && sent < nMsgs {
-				if err := qp.PostSend(p, verbs.SendWR{ID: uint64(sent), Payload: buf.Virtual(msgSize)}); err != nil {
+				b := 0
+				for b < batch && inFlight+b < window && sent+b < nMsgs {
+					wrs[b] = verbs.SendWR{ID: uint64(sent + b), Payload: buf.Virtual(msgSize)}
+					b++
+				}
+				k, err := qp.PostSendN(p, wrs[:b])
+				if err != nil {
 					panic(err)
 				}
-				sent++
-				inFlight++
+				sent += k
+				inFlight += k
 			}
 			scq.Wait(p)
 			inFlight--
-			for inFlight > 0 {
-				if _, ok := scq.Poll(p); !ok {
-					break
-				}
-				inFlight--
+			if inFlight > 0 {
+				inFlight -= scq.PollN(p, comps[:inFlight])
 			}
 		}
 		for inFlight > 0 {

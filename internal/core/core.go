@@ -32,6 +32,11 @@ type NodeConfig struct {
 	// QPIPMaxQPs bounds the adapter's SRAM-resident QP/TCB table
 	// (default params.QPIPMaxQPs); CreateQP beyond it is refused.
 	QPIPMaxQPs int
+	// QPIPCQCoalescePkts / QPIPCQCoalesceDelay pace the per-CQ completion
+	// event lines (unified hw.IRQLine model). Zero = immediate wakes,
+	// timing-identical to the pre-coalescing path.
+	QPIPCQCoalescePkts  int
+	QPIPCQCoalesceDelay sim.Time
 	// GigE attaches a Pro1000-class adapter running the host stack.
 	GigE bool
 	// GigEMTU is the Ethernet MTU (1500 default; 9000 jumbo).
@@ -147,6 +152,9 @@ func (c *Cluster) addNode(i int, cfg NodeConfig) *Node {
 			Bus:         node.Bus,
 			Routes:      c.Routes6,
 			MaxQPs:      cfg.QPIPMaxQPs,
+
+			CQCoalescePkts:  cfg.QPIPCQCoalescePkts,
+			CQCoalesceDelay: cfg.QPIPCQCoalesceDelay,
 		})
 		c.Routes6.Add(node.Addr6, node.QPIP.Attachment())
 	}

@@ -31,9 +31,7 @@ type Device struct {
 	bus *hw.PCIBus
 	fab *fabric.Fabric
 	att int
-	irq *hw.IRQLine
-
-	rxQ []*wire.Packet
+	rx  *hostos.RxCoalescer
 
 	txPkts, rxPkts uint64
 	txBytes        uint64
@@ -52,11 +50,13 @@ func New(eng *sim.Engine, k *hostos.Kernel, fab *fabric.Fabric, cfg Config) *Dev
 	}
 	d := &Device{cfg: cfg, eng: eng, k: k, bus: k.Bus(), fab: fab}
 	d.att = fab.Attach(d.receive)
-	d.irq = hw.NewIRQLine(eng, d.isr)
-	d.irq.CoalescePkts = cfg.CoalescePkts
-	d.irq.CoalesceDelay = cfg.CoalesceDelay
+	d.rx = hostos.NewRxCoalescer(k, cfg.Name, cfg.CoalescePkts, cfg.CoalesceDelay)
 	return d
 }
+
+// IRQ exposes the receive interrupt line (pacing knob, coalescing-factor
+// counters).
+func (d *Device) IRQ() *hw.IRQLine { return d.rx.Line() }
 
 // Name implements hostos.NetDevice.
 func (d *Device) Name() string { return d.cfg.Name }
@@ -81,7 +81,8 @@ func (d *Device) Transmit(pkt *wire.Packet, dstAtt int) {
 }
 
 // receive is the fabric delivery handler: DMA into the host ring, then
-// raise the (coalesced) interrupt.
+// enqueue on the unified rx coalescer (which raises the paced interrupt
+// and reaps in its ISR).
 func (d *Device) receive(f *fabric.Frame) {
 	pkt, ok := f.Payload.(*wire.Packet)
 	if !ok {
@@ -89,20 +90,6 @@ func (d *Device) receive(f *fabric.Frame) {
 	}
 	d.rxPkts++
 	d.bus.DMA(pkt.Len(), d.cfg.Name+".rxdma", func() {
-		d.rxQ = append(d.rxQ, pkt)
-		d.irq.Raise()
-	})
-}
-
-// isr is the interrupt service routine: one HostIRQUS charge per
-// interrupt, then hand every reaped packet to the kernel.
-func (d *Device) isr(events int) {
-	q := d.rxQ
-	d.rxQ = nil
-	cost := params.US(params.HostIRQUS + params.HostDriverRxReapUS*float64(len(q)))
-	d.k.CPU().Do(cost, d.cfg.Name+".isr", func() {
-		for _, pkt := range q {
-			d.k.DeliverPacket(pkt)
-		}
+		d.rx.Enqueue(pkt)
 	})
 }

@@ -39,12 +39,10 @@ type Device struct {
 	bus *hw.PCIBus
 	fab *fabric.Fabric
 	att int
-	irq *hw.IRQLine
+	rx  *hostos.RxCoalescer
 	// lanai serializes firmware handling: one packet at a time through
 	// SRAM, like the GM event loop.
 	lanai *sim.CPU
-
-	rxQ []*wire.Packet
 
 	// txQ serializes outbound packets through the firmware loop: one
 	// packet stages through SRAM and onto the wire before the next
@@ -80,11 +78,13 @@ func New(eng *sim.Engine, k *hostos.Kernel, fab *fabric.Fabric, cfg Config) *Dev
 		lanai: sim.NewCPU(eng, cfg.Name+".lanai", params.NICClockHz),
 	}
 	d.att = fab.Attach(d.receive)
-	d.irq = hw.NewIRQLine(eng, d.isr)
-	d.irq.CoalescePkts = cfg.CoalescePkts
-	d.irq.CoalesceDelay = cfg.CoalesceDelay
+	d.rx = hostos.NewRxCoalescer(k, cfg.Name, cfg.CoalescePkts, cfg.CoalesceDelay)
 	return d
 }
+
+// IRQ exposes the receive interrupt line (pacing knob, coalescing-factor
+// counters).
+func (d *Device) IRQ() *hw.IRQLine { return d.rx.Line() }
 
 // Name implements hostos.NetDevice.
 func (d *Device) Name() string { return d.cfg.Name }
@@ -124,7 +124,8 @@ func (d *Device) kickTx() {
 	})
 }
 
-// receive stages an arriving packet through SRAM and interrupts the host.
+// receive stages an arriving packet through SRAM, then hands it to the
+// unified rx coalescer, which paces the host interrupt and reaps.
 func (d *Device) receive(f *fabric.Frame) {
 	pkt, ok := f.Payload.(*wire.Packet)
 	if !ok {
@@ -133,20 +134,7 @@ func (d *Device) receive(f *fabric.Frame) {
 	d.rxPkts++
 	d.lanai.Do(params.US(FwPerPacketUS), d.cfg.Name+".fw.rx", func() {
 		d.bus.BurstAt(pkt.Len(), params.GMDMABandwidth, d.cfg.Name+".rxdma", func() {
-			d.rxQ = append(d.rxQ, pkt)
-			d.irq.Raise()
+			d.rx.Enqueue(pkt)
 		})
-	})
-}
-
-// isr charges one interrupt and hands reaped packets to the kernel.
-func (d *Device) isr(events int) {
-	q := d.rxQ
-	d.rxQ = nil
-	cost := params.US(params.HostIRQUS + params.HostDriverRxReapUS*float64(len(q)))
-	d.k.CPU().Do(cost, d.cfg.Name+".isr", func() {
-		for _, pkt := range q {
-			d.k.DeliverPacket(pkt)
-		}
 	})
 }

@@ -1,0 +1,55 @@
+package hostos
+
+import (
+	"repro/internal/hw"
+	"repro/internal/params"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// RxCoalescer is the unified receive-interrupt model of the host side:
+// arriving packets queue in the host rx ring, an hw.IRQLine paces their
+// delivery, and the ISR charges one interrupt entry plus the per-packet
+// reap cost before handing the whole batch to the kernel. Both
+// conventional adapters (gige, gm) deliver through it, and the QPIP CQ
+// event path runs on the same hw.IRQLine model — one coalescing
+// abstraction across all three stacks.
+type RxCoalescer struct {
+	k    *Kernel
+	name string
+	line *hw.IRQLine
+	rxQ  []*wire.Packet
+}
+
+// NewRxCoalescer builds a coalescer delivering to k; the ISR charge is
+// the "<name>.isr" event on the kernel's CPU.
+func NewRxCoalescer(k *Kernel, name string, pkts int, delay sim.Time) *RxCoalescer {
+	c := &RxCoalescer{k: k, name: name}
+	c.line = hw.NewIRQLine(k.Engine(), c.isr)
+	c.line.SetCoalesce(pkts, delay)
+	return c
+}
+
+// Enqueue queues one received packet (already DMA'd into host memory)
+// and raises the interrupt line.
+func (c *RxCoalescer) Enqueue(pkt *wire.Packet) {
+	c.rxQ = append(c.rxQ, pkt)
+	c.line.Raise()
+}
+
+// Line exposes the underlying IRQ line — the pacing knob and the
+// Fired/Events coalescing-factor counters.
+func (c *RxCoalescer) Line() *hw.IRQLine { return c.line }
+
+// isr reaps the rx ring: interrupt entry/exit once, descriptor reap per
+// packet, then protocol processing via DeliverPacket.
+func (c *RxCoalescer) isr(events int) {
+	q := c.rxQ
+	c.rxQ = nil
+	cost := params.US(params.HostIRQUS + params.HostDriverRxReapUS*float64(len(q)))
+	c.k.CPU().Do(cost, c.name+".isr", func() {
+		for _, pkt := range q {
+			c.k.DeliverPacket(pkt)
+		}
+	})
+}

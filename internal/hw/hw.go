@@ -11,6 +11,21 @@ import (
 	"repro/internal/sim"
 )
 
+// batched selects the host↔NIC boundary mode. In batched mode (the
+// default) the host posts vectored doorbells, the firmware drains whole
+// FIFOs per activation, and completion wakes route through IRQLine
+// coalescing. Per-token mode preserves the original one-token/one-wake
+// boundary for equivalence testing and perf comparison. With a coalescing
+// delay of 0 the two modes are timing-identical by construction.
+var batched = true
+
+// SetBatchedBoundary switches the boundary mode process-wide. Call it
+// before building a cluster; flipping it mid-simulation is undefined.
+func SetBatchedBoundary(on bool) { batched = on }
+
+// BatchedBoundary reports the current boundary mode.
+func BatchedBoundary() bool { return batched }
+
 // PCIBus is the shared I/O bus. Every DMA transfer and programmed-I/O
 // write serializes through it, so concurrent DMA engines contend here —
 // the physical reality that bounded the prototype's large-MTU throughput.
@@ -95,6 +110,9 @@ type Doorbell struct {
 	// OnRing, when set, is invoked (in simulation context) whenever a
 	// token lands in an empty FIFO — the firmware's wakeup edge.
 	OnRing func()
+	// OnDrop, when set, is invoked for every ring lost to a full FIFO,
+	// letting the owning adapter surface backpressure in its counters.
+	OnDrop func()
 
 	rings, drops uint64
 }
@@ -112,6 +130,9 @@ func NewDoorbell(capacity int) *Doorbell {
 func (d *Doorbell) Ring(token uint64) bool {
 	if d.Len() >= d.capacity {
 		d.drops++
+		if d.OnDrop != nil {
+			d.OnDrop()
+		}
 		return false
 	}
 	d.rings++
@@ -136,18 +157,33 @@ func (d *Doorbell) Pop() (uint64, bool) {
 	return t, true
 }
 
+// PopN drains up to len(dst) tokens into dst in FIFO order and reports
+// how many it moved — the firmware's vectored ring-drain. One PopN per
+// FSM activation replaces a loop of Pops without changing ordering.
+func (d *Doorbell) PopN(dst []uint64) int {
+	n := copy(dst, d.fifo[d.head:])
+	d.head += n
+	if d.head == len(d.fifo) {
+		d.fifo, d.head = d.fifo[:0], 0
+	}
+	return n
+}
+
 // Len reports queued tokens.
 func (d *Doorbell) Len() int { return len(d.fifo) - d.head }
 
 // Drops reports rings lost to a full FIFO.
 func (d *Doorbell) Drops() uint64 { return d.drops }
 
-// IRQLine delivers interrupts to a host CPU with interrupt throttling, as
-// on the Pro1000: an idle line interrupts immediately (no added latency
-// for a lone packet — what Figure 3's RTTs see), while under load
-// interrupts are paced at CoalesceDelay intervals or CoalescePkts events,
-// whichever comes first, dividing the per-interrupt cost across packets
-// (what Figure 4's utilization sees).
+// IRQLine delivers interrupts to a host CPU with interrupt throttling.
+// It is adapter-agnostic: the conventional NICs (Pro1000, Myrinet) pace
+// their rx-ring interrupts through it, and the QPIP NIC routes CQ
+// completion events through one line per CQ. An idle line interrupts
+// immediately (no added latency for a lone event — what Figure 3's RTTs
+// see), while under load interrupts are paced at CoalesceDelay intervals
+// or CoalescePkts events, whichever comes first, dividing the
+// per-interrupt cost across events (what Figure 4's utilization sees).
+// CoalesceDelay is the pacing knob the `-exp irq` ablation sweeps.
 type IRQLine struct {
 	eng *sim.Engine
 	// ISR is the host's interrupt service routine; it receives the number
@@ -169,6 +205,16 @@ type IRQLine struct {
 func NewIRQLine(eng *sim.Engine, isr func(events int)) *IRQLine {
 	return &IRQLine{eng: eng, ISR: isr}
 }
+
+// SetCoalesce reconfigures the pacing knobs. pkts < 1 disables
+// count-based coalescing; delay 0 makes every Raise fire immediately.
+func (l *IRQLine) SetCoalesce(pkts int, delay sim.Time) {
+	l.CoalescePkts = pkts
+	l.CoalesceDelay = delay
+}
+
+// Pending reports events raised but not yet delivered to the ISR.
+func (l *IRQLine) Pending() int { return l.pending }
 
 // Raise records one event, possibly triggering the ISR now or arming the
 // throttle timer.

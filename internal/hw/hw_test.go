@@ -124,6 +124,65 @@ func TestDoorbellOnRingEdgeTriggered(t *testing.T) {
 	}
 }
 
+func TestDoorbellPopNDrainsInOrder(t *testing.T) {
+	d := NewDoorbell(8)
+	for i := uint64(0); i < 5; i++ {
+		d.Ring(i)
+	}
+	var dst [3]uint64
+	if n := d.PopN(dst[:]); n != 3 || dst[0] != 0 || dst[1] != 1 || dst[2] != 2 {
+		t.Fatalf("PopN = %d, dst = %v", n, dst)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len after partial drain = %d", d.Len())
+	}
+	if n := d.PopN(dst[:]); n != 2 || dst[0] != 3 || dst[1] != 4 {
+		t.Fatalf("second PopN = %d, dst = %v", n, dst)
+	}
+	if n := d.PopN(dst[:]); n != 0 {
+		t.Fatalf("PopN on empty FIFO = %d", n)
+	}
+	// Drained FIFO reuses its backing array, same as Pop.
+	d.Ring(9)
+	v, ok := d.Pop()
+	if !ok || v != 9 {
+		t.Fatalf("Pop after PopN drain = %d, %v", v, ok)
+	}
+}
+
+func TestDoorbellOnDropHook(t *testing.T) {
+	d := NewDoorbell(1)
+	drops := 0
+	d.OnDrop = func() { drops++ }
+	d.Ring(1)
+	d.Ring(2)
+	d.Ring(3)
+	if drops != 2 || d.Drops() != 2 {
+		t.Errorf("OnDrop ran %d times, Drops = %d; want 2, 2", drops, d.Drops())
+	}
+}
+
+func TestIRQSetCoalesce(t *testing.T) {
+	eng := sim.NewEngine()
+	var got []int
+	l := NewIRQLine(eng, func(n int) { got = append(got, n) })
+	l.SetCoalesce(4, 100*sim.Microsecond)
+	l.Raise()
+	l.Raise()
+	if l.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", l.Pending())
+	}
+	l.Raise()
+	l.Raise()
+	if l.Pending() != 0 {
+		t.Fatalf("Pending after fire = %d, want 0", l.Pending())
+	}
+	eng.Run()
+	if len(got) != 1 || got[0] != 4 {
+		t.Errorf("ISR calls = %v, want [4]", got)
+	}
+}
+
 func TestIRQImmediateWithoutCoalescing(t *testing.T) {
 	eng := sim.NewEngine()
 	var got []int

@@ -179,6 +179,14 @@ const (
 	// routine" (paper §4.1) waking a blocked CQ waiter — far cheaper than
 	// the host stack's general interrupt path.
 	VerbsWakeupUS = 2.0
+
+	// Batch verbs (PostSendN/PostRecvN/PollN) amortize the fixed part of
+	// each call — queue locking, state checks, the doorbell write — across
+	// the batch: the first WR pays the full single-op cost above, each
+	// subsequent WR only the marginal descriptor-build cost below.
+	VerbsPostSendBatchUS = 0.3
+	VerbsPostRecvBatchUS = 0.3
+	VerbsPollBatchUS     = 0.2
 )
 
 // GigE adapter (Intel Pro1000-class) parameters.

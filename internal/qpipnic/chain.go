@@ -27,21 +27,21 @@ import (
 // special kinds carry the state that used to live in captured closure
 // environments (the packet being built, the record being placed, ...).
 const (
-	stCPU       uint8 = iota // fixed-cost firmware CPU stage
-	stDMA                    // CPU setup then cr.bytes across the PCI bus
-	stChecksum               // firmware checksum loop over cr.bytes (if enabled)
-	stMedia                  // Send stage, then inject cr.pkt into the fabric
-	stTxWR                   // take one posted send WR and hand to the transport
-	stUDPDone                // complete the UDP send WR
-	stComplete               // one acked-record completion; repeats cr.completions times
-	stStash                  // place stashed records into posted receive WRs; repeats
-	stStashTally             // count a remaining backlog after a drain
-	stPlaceDone              // DMA the receive completion token, post it
-	stRxDispatch             // demux a parsed IP packet to TCP/UDP handling
-	stRxTCPBody              // TCB input processing for cr.seg
-	stRxUDPBody              // UDP delivery for cr.pkt
-	stUpdateWindow           // re-advertise the receive window
-	stCustom                 // escape hatch: fn(next), for rare paths
+	stCPU          uint8 = iota // fixed-cost firmware CPU stage
+	stDMA                       // CPU setup then cr.bytes across the PCI bus
+	stChecksum                  // firmware checksum loop over cr.bytes (if enabled)
+	stMedia                     // Send stage, then inject cr.pkt into the fabric
+	stTxWR                      // take one posted send WR and hand to the transport
+	stUDPDone                   // complete the UDP send WR
+	stComplete                  // one acked-record completion; repeats cr.completions times
+	stStash                     // place stashed records into posted receive WRs; repeats
+	stStashTally                // count a remaining backlog after a drain
+	stPlaceDone                 // DMA the receive completion token, post it
+	stRxDispatch                // demux a parsed IP packet to TCP/UDP handling
+	stRxTCPBody                 // TCB input processing for cr.seg
+	stRxUDPBody                 // UDP delivery for cr.pkt
+	stUpdateWindow              // re-advertise the receive window
+	stCustom                    // escape hatch: fn(next), for rare paths
 )
 
 // step is one closure-form stage; it must call next exactly once. Only the
@@ -81,6 +81,7 @@ type chainRun struct {
 	bytes       int
 	wrID        uint64
 	completions int
+	train       int // completions accumulated for one CQ-token writeback
 	wr          verbs.RecvWR
 	rec         buf.Buf
 	raddr       inet.Addr6
@@ -115,12 +116,16 @@ func newChainRun(n *NIC) *chainRun {
 		}
 	}
 	cr.completeFn = func() {
-		cr.n.cfg.Bus.Burst(32, "cq.token", cr.completeBurstFn)
+		// One token writeback covers the whole completion train: 32 bytes
+		// per CQ entry, a single bus burst.
+		cr.n.cfg.Bus.Burst(32*cr.train, "cq.token", cr.completeBurstFn)
 	}
 	cr.completeBurstFn = func() {
 		qs := cr.qs
-		if id, ok := qs.popSendID(); ok {
-			qs.qp.CompleteSend(id, verbs.StatusSuccess, 0)
+		for ; cr.train > 0; cr.train-- {
+			if id, ok := qs.popSendID(); ok {
+				qs.qp.CompleteSend(id, verbs.StatusSuccess, 0)
+			}
 		}
 		cr.run()
 	}
@@ -174,6 +179,7 @@ func (n *NIC) putChain(cr *chainRun) {
 	cr.wr = verbs.RecvWR{}
 	cr.rec = buf.Empty
 	cr.completions = 0
+	cr.train = 0
 	if pool.Enabled() {
 		n.chainFree = append(n.chainFree, cr)
 	}
@@ -248,13 +254,19 @@ func (cr *chainRun) run() {
 			cr.qs.qp.CompleteSend(cr.wrID, verbs.StatusSuccess, cr.bytes)
 			continue
 		case stComplete:
+			// Each acked record pays its Update stage; the CQ-token DMA
+			// for the whole train is emitted once, after the last Update
+			// (a completion train crosses the bus as one burst).
 			cr.completions--
-			if cr.completions > 0 {
-				cr.i-- // stay on this stage for the next completion
-			}
+			cr.train++
 			d := params.US(params.RxUpdateAckUS)
 			cr.n.ctrRxAckUpdate.Observe(d)
-			cr.n.cpu.Do(d, "Update", cr.completeFn)
+			if cr.completions > 0 {
+				cr.i-- // stay on this stage for the next completion
+				cr.n.cpu.Do(d, "Update", cr.advanceFn)
+			} else {
+				cr.n.cpu.Do(d, "Update", cr.completeFn)
+			}
 			return
 		case stStash:
 			qs := cr.qs
@@ -416,13 +428,14 @@ func (cr *chainRun) rxUDPBody() {
 
 // chainTemplates holds the constant stage sequences of the four FSM paths.
 type chainTemplates struct {
-	txWR     [4]stage // Doorbell Process, Schedule, Get WR, take-WR handoff
-	udpSend  [6]stage // Get Data, Build UDP Hdr, Build IP Hdr, Send, Update, complete
-	segData  [7]stage // Doorbell Process, Schedule, Get Data, Build TCP Hdr, Build IP Hdr, Send, Update
-	segAck   [6]stage // as segData without the payload DMA, on the ack column
-	rxData   [4]stage // Media Rcv, IP Parse, checksum, dispatch
-	rxAck    [4]stage // same, on the ack column
-	place    [4]stage // Get WR, Put Data, Update, completion token
+	txWR            [4]stage // Doorbell Process, Schedule, Get WR, take-WR handoff
+	txWRBatch       [3]stage // Schedule, Get WR, handoff (vectored-token tail)
+	udpSend         [6]stage // Get Data, Build UDP Hdr, Build IP Hdr, Send, Update, complete
+	segData         [7]stage // Doorbell Process, Schedule, Get Data, Build TCP Hdr, Build IP Hdr, Send, Update
+	segAck          [6]stage // as segData without the payload DMA, on the ack column
+	rxData          [4]stage // Media Rcv, IP Parse, checksum, dispatch
+	rxAck           [4]stage // same, on the ack column
+	place           [4]stage // Get WR, Put Data, Update, completion token
 	tplTCPParseData stage
 	tplTCPParseAck  stage
 	tplUDPParse     stage
@@ -440,6 +453,14 @@ func dmaSt(set *trace.Stages, name string, us float64) stage {
 func (n *NIC) initTemplates() {
 	n.txWR = [4]stage{
 		cpuSt(n.TxData, "Doorbell Process", params.TxDoorbellProcUS),
+		cpuSt(n.TxData, "Schedule", params.TxScheduleUS),
+		cpuSt(n.TxData, "Get WR", params.TxGetWRUS),
+		{kind: stTxWR},
+	}
+	// The amortized tail of a vectored doorbell token: Doorbell Process
+	// was paid once by the head WR, so the train's remaining WRs start at
+	// Schedule.
+	n.txWRBatch = [3]stage{
 		cpuSt(n.TxData, "Schedule", params.TxScheduleUS),
 		cpuSt(n.TxData, "Get WR", params.TxGetWRUS),
 		{kind: stTxWR},

@@ -80,6 +80,12 @@ type Config struct {
 	// 0 means params.QPIPMaxQPs. CreateQP beyond it is refused with
 	// verbs.ErrNoResources — graceful degradation, not a hang.
 	MaxQPs int
+	// CQCoalescePkts / CQCoalesceDelay pace the per-CQ completion event
+	// lines (the unified hw.IRQLine model the conventional adapters also
+	// use). Zero values deliver every armed-waiter event immediately —
+	// timing-identical to the pre-coalescing direct wake.
+	CQCoalescePkts  int
+	CQCoalesceDelay sim.Time
 }
 
 // tcpKey demultiplexes established connections.
@@ -209,6 +215,9 @@ type NIC struct {
 	chainTemplates
 	chainFree []*chainRun
 
+	// dbScratch is the doorbell FSM's vectored drain buffer (PopN).
+	dbScratch [64]uint64
+
 	// Per-stage occupancy, split by the four table columns.
 	TxData, TxAck, RxData, RxAck *trace.Stages
 	// Net counts fault-visible events (rx.corrupt, tx.retransmit,
@@ -247,6 +256,7 @@ func New(eng *sim.Engine, fab *fabric.Fabric, cfg Config) *NIC {
 	}
 	n.att = fab.Attach(n.receiveFrame)
 	n.db.OnRing = n.onDoorbell
+	n.db.OnDrop = func() { n.Net.Add("db.drop", 1) }
 	return n
 }
 
@@ -458,6 +468,40 @@ func (n *NIC) RecvPosted(qp *verbs.QP) {
 		return
 	}
 	n.cfg.Bus.PIOWrite("recv-doorbell", nil)
+}
+
+// dbToken encodes a vectored doorbell token: the QPN in the low 32 bits,
+// the WR count in the high 32. A count of 0 means 1 — the per-token
+// ringFn writes a bare QPN, so legacy tokens decode unchanged.
+func dbToken(qpn uint32, count int) uint64 {
+	return uint64(qpn) | uint64(uint32(count))<<32
+}
+
+// SendDoorbellN implements verbs.Device: one vectored doorbell announcing
+// n posted send WRs — a single PIO write regardless of batch size.
+func (n *NIC) SendDoorbellN(qp *verbs.QP, count int) {
+	tok := dbToken(qp.QPN, count)
+	n.cfg.Bus.PIOWrite("doorbell", func() {
+		n.db.Ring(tok)
+	})
+}
+
+// RecvPostedN implements verbs.Device: one notification write covering a
+// batch of receive WRs. The window grows from PostedRecvBytes, which the
+// host already updated for the whole batch, so a single write suffices.
+func (n *NIC) RecvPostedN(qp *verbs.QP, count int) {
+	n.RecvPosted(qp)
+}
+
+// AttachCQ implements verbs.Device: bind the CQ's completion wakeups to
+// a coalescible event line, replacing the old ad-hoc per-token wake. The
+// ISR only wakes the armed waiter — the lightweight-ISR CPU cost stays
+// charged in CQ.Wait (VerbsWakeupUS), so with zero coalescing delay this
+// path is timing-identical to the direct wake.
+func (n *NIC) AttachCQ(cq *verbs.CQ) {
+	line := hw.NewIRQLine(n.eng, func(int) { cq.EventWake() })
+	line.SetCoalesce(n.cfg.CQCoalescePkts, n.cfg.CQCoalesceDelay)
+	cq.BindEvent(line)
 }
 
 // updateWindow re-advertises the window from posted WR capacity.

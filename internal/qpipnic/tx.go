@@ -2,6 +2,7 @@ package qpipnic
 
 import (
 	"repro/internal/buf"
+	"repro/internal/hw"
 	"repro/internal/inet"
 	"repro/internal/sim"
 	"repro/internal/tcp"
@@ -24,6 +25,10 @@ type txWork struct {
 	// seg, when non-nil, is a ready TCP segment (ack, window-opened data,
 	// retransmission). Otherwise the work item consumes one posted WR.
 	seg *tcp.Segment
+	// amortized marks the second and later WRs of one vectored doorbell
+	// token: the Doorbell Process stage was already paid by the first WR,
+	// so these run the shorter txWRBatch template.
+	amortized bool
 }
 
 // enqueueTx adds work and kicks the scheduler.
@@ -49,19 +54,48 @@ func (n *NIC) kickTx() {
 	n.runTxWork(w, n.txDoneFn)
 }
 
-// onDoorbell is the doorbell FSM wakeup: drain the FIFO, mark QPs.
+// onDoorbell is the doorbell FSM wakeup: drain the whole FIFO in one
+// activation and mark QPs. In batched mode the drain is vectored (PopN
+// into the scratch buffer, tokens may carry a WR count); per-token mode
+// keeps the original one-Pop loop. For count-1 tokens the two paths
+// enqueue identical work in identical order.
 func (n *NIC) onDoorbell() {
+	if !hw.BatchedBoundary() {
+		for {
+			tok, ok := n.db.Pop()
+			if !ok {
+				return
+			}
+			qs := n.qps[uint32(tok)]
+			if qs == nil {
+				continue
+			}
+			qs.pendingWRs++
+			n.enqueueTx(txWork{qs: qs})
+		}
+	}
 	for {
-		tok, ok := n.db.Pop()
-		if !ok {
+		k := n.db.PopN(n.dbScratch[:])
+		if k == 0 {
 			return
 		}
-		qs := n.qps[uint32(tok)]
-		if qs == nil {
-			continue
+		for _, tok := range n.dbScratch[:k] {
+			qs := n.qps[uint32(tok)]
+			if qs == nil {
+				continue
+			}
+			cnt := int(tok >> 32)
+			if cnt == 0 {
+				cnt = 1
+			}
+			qs.pendingWRs += cnt
+			// First WR of the token pays the full Doorbell Process stage;
+			// the rest of the train amortizes it.
+			n.enqueueTx(txWork{qs: qs})
+			for j := 1; j < cnt; j++ {
+				n.enqueueTx(txWork{qs: qs, amortized: true})
+			}
 		}
-		qs.pendingWRs++
-		n.enqueueTx(txWork{qs: qs})
 	}
 }
 
@@ -71,19 +105,24 @@ func (n *NIC) runTxWork(w txWork, done func()) {
 		n.sendSegment(w.qs, w.seg, done)
 		return
 	}
-	n.consumeSendWR(w.qs, done)
+	n.consumeSendWR(w.qs, w.amortized, done)
 }
 
-// consumeSendWR processes one posted send WR: Doorbell Process, Schedule,
-// Get WR, then hand the message to the transport (the stTxWR stage).
-func (n *NIC) consumeSendWR(qs *qpState, done func()) {
+// consumeSendWR processes one posted send WR: Doorbell Process (skipped
+// for the amortized tail of a vectored token), Schedule, Get WR, then
+// hand the message to the transport (the stTxWR stage).
+func (n *NIC) consumeSendWR(qs *qpState, amortized bool, done func()) {
 	if qs.pendingWRs <= 0 || n.qps[qs.qp.QPN] == nil {
 		done()
 		return
 	}
 	qs.pendingWRs--
 	cr := n.getChain(done)
-	cr.use(n.txWR[:])
+	if amortized {
+		cr.use(n.txWRBatch[:])
+	} else {
+		cr.use(n.txWR[:])
+	}
 	cr.qs = qs
 	cr.run()
 }

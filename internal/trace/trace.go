@@ -125,6 +125,14 @@ func (c *Counters) Add(name string, delta uint64) { c.m[name] += delta }
 // Get reports the named counter (0 if never incremented).
 func (c *Counters) Get(name string) uint64 { return c.m[name] }
 
+// AddAll merges every counter from src into c — the chaos report uses it
+// to sum per-node adapter counters into one cluster-wide view.
+func (c *Counters) AddAll(src *Counters) {
+	for k, v := range src.m {
+		c.m[k] += v
+	}
+}
+
 // Names reports all incremented counter names, sorted.
 func (c *Counters) Names() []string {
 	out := make([]string, 0, len(c.m))

@@ -1,6 +1,7 @@
 package verbs
 
 import (
+	"repro/internal/hw"
 	"repro/internal/params"
 	"repro/internal/sim"
 )
@@ -19,6 +20,12 @@ type CQ struct {
 	head     int
 	waiter   *sim.Proc
 	overflow uint64
+	// irq, when bound, is the CQ's event line: with the batched boundary
+	// on, a Push that finds an armed waiter raises the line instead of
+	// waking the waiter directly, and the device's ISR performs the wake.
+	// With a coalescing delay of 0 the Raise→fire→wake path is
+	// synchronous, so it is timing-identical to the direct wake.
+	irq *hw.IRQLine
 	// overflowPending arms the synthetic StatusCQOverflow completion the
 	// application reaps after draining what survived — overflow is an
 	// application sizing bug, and this is how it is surfaced instead of
@@ -34,7 +41,37 @@ func NewCQ(dev Device, depth int) *CQ {
 	if depth <= 0 {
 		depth = 256
 	}
-	return &CQ{dev: dev, depth: depth}
+	c := &CQ{dev: dev, depth: depth}
+	dev.AttachCQ(c)
+	return c
+}
+
+// BindEvent routes this CQ's completion wakeups through line. The device
+// installs an ISR on line that calls EventWake. Replaces the old ad-hoc
+// direct wake so QPIP completion notification shares the same coalescing
+// model as the conventional adapters' rx interrupts.
+func (c *CQ) BindEvent(line *hw.IRQLine) { c.irq = line }
+
+// EventLine reports the bound event line (nil if none) — benchmarks read
+// its Fired/Events counters to measure the achieved coalescing factor.
+func (c *CQ) EventLine() *hw.IRQLine { return c.irq }
+
+// SetCoalesce adjusts the bound event line's pacing knobs; a no-op for
+// an unbound CQ.
+func (c *CQ) SetCoalesce(pkts int, delay sim.Time) {
+	if c.irq != nil {
+		c.irq.SetCoalesce(pkts, delay)
+	}
+}
+
+// EventWake wakes a blocked waiter, if armed. Called from the device's
+// event-line ISR in simulation context.
+func (c *CQ) EventWake() {
+	if c.waiter != nil {
+		w := c.waiter
+		c.waiter = nil
+		w.Wake()
+	}
 }
 
 // Depth reports the CQ capacity.
@@ -68,9 +105,16 @@ func (c *CQ) Push(comp Completion) {
 		c.maxLen = c.Len()
 	}
 	if c.waiter != nil {
-		w := c.waiter
-		c.waiter = nil
-		w.Wake()
+		if c.irq != nil && hw.BatchedBoundary() {
+			// Armed-waiter semantics (as in Infiniband's req_notify_cq):
+			// the event line is raised only when someone is waiting, so
+			// pure polling workloads never pay interrupt costs.
+			c.irq.Raise()
+		} else {
+			w := c.waiter
+			c.waiter = nil
+			w.Wake()
+		}
 	}
 }
 
@@ -96,6 +140,55 @@ func (c *CQ) Poll(p *sim.Proc) (Completion, bool) {
 		c.entries, c.head = c.entries[:0], 0
 	}
 	return comp, true
+}
+
+// PollN reaps up to len(out) completions in order with a single batched
+// CPU charge: the first completion pays the full poll cost, each further
+// one only the marginal reap cost. Semantics match a loop of single
+// Polls exactly — same ordering, and the synthetic StatusCQOverflow
+// completion surfaces only once the queue has drained. With the batched
+// boundary off it degrades to that loop (per-token charges). Returns the
+// number of completions written to out.
+func (c *CQ) PollN(p *sim.Proc, out []Completion) int {
+	if len(out) == 0 {
+		return 0
+	}
+	if !hw.BatchedBoundary() {
+		n := 0
+		for n < len(out) {
+			comp, ok := c.Poll(p)
+			if !ok {
+				break
+			}
+			out[n] = comp
+			n++
+		}
+		return n
+	}
+	c.polls++
+	n := 0
+	for n < len(out) && c.Len() > 0 {
+		out[n] = c.entries[c.head]
+		c.entries[c.head] = Completion{}
+		c.head++
+		if c.head == len(c.entries) {
+			c.entries, c.head = c.entries[:0], 0
+		}
+		n++
+	}
+	if n < len(out) && c.Len() == 0 && c.overflowPending {
+		c.overflowPending = false
+		out[n] = Completion{Status: StatusCQOverflow}
+		n++
+	}
+	if n == 0 {
+		c.emptyPolls++
+		p.Use(c.dev.HostCPU().Server, params.US(params.VerbsPollEmptyUS))
+		return 0
+	}
+	p.Use(c.dev.HostCPU().Server,
+		params.US(params.VerbsPollUS+float64(n-1)*params.VerbsPollBatchUS))
+	return n
 }
 
 // Wait blocks the process until a completion is available and reaps it.

@@ -3,6 +3,7 @@ package verbs
 import (
 	"fmt"
 
+	"repro/internal/hw"
 	"repro/internal/inet"
 	"repro/internal/params"
 	"repro/internal/sim"
@@ -114,6 +115,58 @@ func (q *QP) PostSend(p *sim.Proc, wr SendWR) error {
 	return nil
 }
 
+// PostSendN posts up to len(wrs) send work requests with one batched CPU
+// charge (first WR at full cost, the rest at the marginal batch cost)
+// and a single vectored doorbell. It returns how many WRs were posted;
+// on a partial post (queue full or oversized WR mid-batch) the prefix
+// that fits is posted and the error reported, with nothing charged when
+// the count is zero. With the batched boundary off it degrades to a loop
+// of single PostSends — per-WR charges and doorbells.
+func (q *QP) PostSendN(p *sim.Proc, wrs []SendWR) (int, error) {
+	if len(wrs) == 0 {
+		return 0, nil
+	}
+	if !hw.BatchedBoundary() {
+		for i, wr := range wrs {
+			if err := q.PostSend(p, wr); err != nil {
+				return i, err
+			}
+		}
+		return len(wrs), nil
+	}
+	if q.state != QPEstablished && !(q.Transport == Unreliable && q.state != QPError && q.state != QPClosed) {
+		if q.state == QPError {
+			return 0, q.err
+		}
+		return 0, ErrBadState
+	}
+	n := 0
+	var err error
+	for _, wr := range wrs {
+		if q.outSend+n >= q.sendDepth {
+			err = ErrQueueFull
+			break
+		}
+		if wr.Payload.Len() > q.dev.MaxMessage() {
+			err = fmt.Errorf("%w: %d > %d", ErrTooBig, wr.Payload.Len(), q.dev.MaxMessage())
+			break
+		}
+		n++
+	}
+	if n == 0 {
+		return 0, err
+	}
+	p.Use(q.dev.HostCPU().Server,
+		params.US(params.VerbsPostSendUS+float64(n-1)*params.VerbsPostSendBatchUS))
+	for _, wr := range wrs[:n] {
+		q.outSend++
+		q.posts++
+		q.sendQ = append(q.sendQ, wr)
+	}
+	q.dev.SendDoorbellN(q, n)
+	return n, err
+}
+
 // PostRecv posts a receive work request identifying buffer capacity for
 // one incoming message. Posting receive space grows the connection's TCP
 // receive window (paper §5.1).
@@ -137,6 +190,55 @@ func (q *QP) PostRecv(p *sim.Proc, wr RecvWR) error {
 	q.recvQ = append(q.recvQ, wr)
 	q.dev.RecvPosted(q)
 	return nil
+}
+
+// PostRecvN posts up to len(wrs) receive work requests with one batched
+// CPU charge and a single notification write. Partial-post and fallback
+// semantics mirror PostSendN.
+func (q *QP) PostRecvN(p *sim.Proc, wrs []RecvWR) (int, error) {
+	if len(wrs) == 0 {
+		return 0, nil
+	}
+	if !hw.BatchedBoundary() {
+		for i, wr := range wrs {
+			if err := q.PostRecv(p, wr); err != nil {
+				return i, err
+			}
+		}
+		return len(wrs), nil
+	}
+	if q.state == QPError {
+		return 0, q.err
+	}
+	if q.state == QPClosed {
+		return 0, ErrBadState
+	}
+	n := 0
+	var err error
+	for _, wr := range wrs {
+		if q.outRecv+n >= q.recvDepth {
+			err = ErrQueueFull
+			break
+		}
+		if wr.Capacity <= 0 {
+			err = fmt.Errorf("verbs: receive WR needs positive capacity")
+			break
+		}
+		n++
+	}
+	if n == 0 {
+		return 0, err
+	}
+	p.Use(q.dev.HostCPU().Server,
+		params.US(params.VerbsPostRecvUS+float64(n-1)*params.VerbsPostRecvBatchUS))
+	for _, wr := range wrs[:n] {
+		q.outRecv++
+		q.recvPosts++
+		q.postedRecv += wr.Capacity
+		q.recvQ = append(q.recvQ, wr)
+	}
+	q.dev.RecvPostedN(q, n)
+	return n, err
 }
 
 // Connect initiates the TCP rendezvous to a remote listener and blocks

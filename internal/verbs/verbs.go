@@ -176,6 +176,17 @@ type Device interface {
 	// RecvPosted notifies the adapter of new receive WRs, which grows
 	// the TCP receive window (paper §5.1).
 	RecvPosted(qp *QP)
+	// SendDoorbellN notifies the adapter of n new send WRs with a single
+	// vectored doorbell: one PIO write carrying a WR count, so a batch
+	// post crosses the bus once.
+	SendDoorbellN(qp *QP, n int)
+	// RecvPostedN notifies the adapter of n new receive WRs with a
+	// single notification write.
+	RecvPostedN(qp *QP, n int)
+	// AttachCQ registers a completion queue with the adapter, letting it
+	// bind an event (interrupt) line for coalesced completion wakeups.
+	// Called by NewCQ.
+	AttachCQ(cq *CQ)
 }
 
 // Listener is a TCP port being monitored by the adapter. Applications

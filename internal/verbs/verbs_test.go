@@ -12,12 +12,15 @@ import (
 
 // fakeDevice is a minimal Device for unit-testing the host-side layer.
 type fakeDevice struct {
-	eng        *sim.Engine
-	cpu        *sim.CPU
-	maxMsg     int
-	doorbells  int
-	recvPosts  int
-	connectErr error
+	eng          *sim.Engine
+	cpu          *sim.CPU
+	maxMsg       int
+	doorbells    int
+	recvPosts    int
+	vectored     int
+	vectoredRecv int
+	cqs          int
+	connectErr   error
 }
 
 func newFake(eng *sim.Engine) *fakeDevice {
@@ -46,6 +49,15 @@ func (d *fakeDevice) Listen(port uint16) (*Listener, error) {
 }
 func (d *fakeDevice) SendDoorbell(*QP) { d.doorbells++ }
 func (d *fakeDevice) RecvPosted(*QP)   { d.recvPosts++ }
+func (d *fakeDevice) SendDoorbellN(_ *QP, n int) {
+	d.doorbells++
+	d.vectored += n
+}
+func (d *fakeDevice) RecvPostedN(_ *QP, n int) {
+	d.recvPosts++
+	d.vectoredRecv += n
+}
+func (d *fakeDevice) AttachCQ(*CQ) { d.cqs++ }
 
 func mkQP(t *testing.T, eng *sim.Engine, d *fakeDevice, tr TransportType, depth int) (*QP, *CQ, *CQ) {
 	t.Helper()

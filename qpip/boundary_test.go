@@ -1,0 +1,232 @@
+package qpip_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/qpip"
+)
+
+// TestBatchedBoundaryPreservesDeterminism is the PR-4 regression gate: at
+// a CQ coalescing delay of 0, the batched host↔NIC boundary (vectored
+// doorbells, whole-FIFO drains, IRQ-routed CQ wakes, completion trains)
+// is pure mechanism — the simulated world must be bit-for-bit the one the
+// per-token boundary produces. Each seed runs the chaos transfer once per
+// mode; the injector trace (which embeds event timestamps), completion
+// order, delivered bytes and end-of-simulation clock must match exactly.
+func TestBatchedBoundaryPreservesDeterminism(t *testing.T) {
+	defer qpip.SetBatchedBoundary(true)
+
+	run := func(batched bool, seed uint64) chaosResult {
+		qpip.SetBatchedBoundary(batched)
+		return runChaosTransfer(t, seed, 48, 8192)
+	}
+
+	for _, seed := range []uint64{0x51EE7, 0xC0FFEE, 7, 0xBEEF} {
+		per := run(false, seed)
+		if t.Failed() {
+			return
+		}
+		bat := run(true, seed)
+		if t.Failed() {
+			return
+		}
+		if per.trace != bat.trace {
+			t.Errorf("seed %#x: fault trace diverged between per-token and batched boundaries", seed)
+		}
+		if per.endTime != bat.endTime {
+			t.Errorf("seed %#x: end time diverged: per-token %v, batched %v", seed, per.endTime, bat.endTime)
+		}
+		if per.statuses != bat.statuses {
+			t.Errorf("seed %#x: completion sequence diverged", seed)
+		}
+		if !bytes.Equal(per.received, bat.received) {
+			t.Errorf("seed %#x: delivered bytes diverged", seed)
+		}
+	}
+}
+
+// coalescedChaosTransfer is runChaosTransfer's workload on a cluster whose
+// CQ event lines are paced (nonzero coalescing delay) — the configuration
+// where wakes are deferred and batched, which must still be fully
+// deterministic run-to-run.
+func coalescedChaosTransfer(t *testing.T, seed uint64, delay qpip.Time) chaosResult {
+	t.Helper()
+	const msgs, msgLen = 32, 4096
+	c := qpip.NewCluster(2, qpip.NodeConfig{
+		QPIP:                true,
+		QPIPCQCoalescePkts:  16,
+		QPIPCQCoalesceDelay: delay,
+	})
+	inj := qpip.InjectFaults(c, qpip.FaultPlan{
+		Seed: seed, DropProb: 0.03, CorruptProb: 0.02, DupProb: 0.03,
+		DelayProb: 0.05, MaxExtraDelay: 20_000, SkipFirst: 8,
+	})
+	var res chaosResult
+	c.Spawn("server", func(p *qpip.Proc) {
+		qp, _, rcq, err := qpip.NewReliableQP(c.Nodes[1], 64)
+		if err != nil {
+			t.Errorf("server QP: %v", err)
+			return
+		}
+		lst, err := c.Nodes[1].QPIP.Listen(7000)
+		if err != nil {
+			t.Errorf("Listen: %v", err)
+			return
+		}
+		lst.Post(qp)
+		if err := qp.WaitEstablished(p); err != nil {
+			t.Errorf("establish: %v", err)
+			return
+		}
+		rwrs := make([]qpip.RecvWR, msgs)
+		for i := range rwrs {
+			rwrs[i] = qpip.RecvWR{ID: uint64(i), Capacity: msgLen}
+		}
+		if _, err := qp.PostRecvN(p, rwrs); err != nil {
+			t.Errorf("PostRecvN: %v", err)
+			return
+		}
+		comps := make([]qpip.Completion, msgs)
+		for got := 0; got < msgs; {
+			rcq.Wait(p)
+			got++
+			n := rcq.PollN(p, comps[:msgs-got])
+			got += n
+		}
+	})
+	c.Spawn("client", func(p *qpip.Proc) {
+		qp, scq, _, err := qpip.NewReliableQP(c.Nodes[0], 64)
+		if err != nil {
+			t.Errorf("client QP: %v", err)
+			return
+		}
+		if err := qp.Connect(p, c.Nodes[1].Addr6, 7000); err != nil {
+			t.Errorf("Connect: %v", err)
+			return
+		}
+		wrs := make([]qpip.SendWR, msgs)
+		for i := range wrs {
+			wrs[i] = qpip.SendWR{ID: uint64(i), Payload: qpip.VirtualMessage(msgLen)}
+		}
+		sent := 0
+		for sent < msgs {
+			n, err := qp.PostSendN(p, wrs[sent:])
+			if err != nil {
+				t.Errorf("PostSendN: %v", err)
+				return
+			}
+			sent += n
+		}
+		for got := 0; got < msgs; got++ {
+			scq.Wait(p)
+		}
+	})
+	c.Run()
+	res.trace = inj.TraceString()
+	res.endTime = c.Eng.Now()
+	return res
+}
+
+// TestCoalescedWakesDeterministic: with a nonzero coalescing delay the
+// simulated world differs from immediate-wake timing — but the same seed
+// must still reproduce the identical fault trace and end time, and the
+// delay must actually move simulated time (the knob is live).
+func TestCoalescedWakesDeterministic(t *testing.T) {
+	if !qpip.BatchedBoundary() {
+		t.Skip("coalescing requires the batched boundary")
+	}
+	const seed = 0xC0FFEE
+	delay := 100 * sim.Microsecond
+	a := coalescedChaosTransfer(t, seed, delay)
+	if t.Failed() {
+		return
+	}
+	b := coalescedChaosTransfer(t, seed, delay)
+	if a.trace != b.trace {
+		t.Error("same seed produced different fault traces under coalesced wakes")
+	}
+	if a.endTime != b.endTime {
+		t.Errorf("same seed produced different end times: %v vs %v", a.endTime, b.endTime)
+	}
+	imm := coalescedChaosTransfer(t, seed, 0)
+	if imm.endTime == a.endTime {
+		t.Log("coalescing delay did not shift the end time (workload may be too sparse); knob liveness not proven here")
+	}
+}
+
+// TestVectoredDoorbellBackpressure: a send burst far wider than the
+// doorbell FIFO must not lose work requests — the batch verbs ring one
+// vectored token per call, so even a 256-WR storm through a small FIFO
+// stays within capacity and every WR completes.
+func TestVectoredDoorbellBackpressure(t *testing.T) {
+	defer qpip.SetBatchedBoundary(true)
+	qpip.SetBatchedBoundary(true)
+	c := qpip.NewQPIPCluster(2)
+	const msgs = 256
+	done := 0
+	c.Spawn("server", func(p *qpip.Proc) {
+		qp, _, rcq, err := qpip.NewReliableQP(c.Nodes[1], msgs)
+		if err != nil {
+			t.Errorf("server QP: %v", err)
+			return
+		}
+		lst, err := c.Nodes[1].QPIP.Listen(7000)
+		if err != nil {
+			t.Errorf("Listen: %v", err)
+			return
+		}
+		lst.Post(qp)
+		if err := qp.WaitEstablished(p); err != nil {
+			t.Errorf("establish: %v", err)
+			return
+		}
+		rwrs := make([]qpip.RecvWR, msgs)
+		for i := range rwrs {
+			rwrs[i] = qpip.RecvWR{ID: uint64(i), Capacity: 64}
+		}
+		if _, err := qp.PostRecvN(p, rwrs); err != nil {
+			t.Errorf("PostRecvN: %v", err)
+			return
+		}
+		for i := 0; i < msgs; i++ {
+			rcq.Wait(p)
+			done++
+		}
+	})
+	c.Spawn("client", func(p *qpip.Proc) {
+		qp, scq, _, err := qpip.NewReliableQP(c.Nodes[0], msgs)
+		if err != nil {
+			t.Errorf("client QP: %v", err)
+			return
+		}
+		if err := qp.Connect(p, c.Nodes[1].Addr6, 7000); err != nil {
+			t.Errorf("Connect: %v", err)
+			return
+		}
+		wrs := make([]qpip.SendWR, msgs)
+		for i := range wrs {
+			wrs[i] = qpip.SendWR{ID: uint64(i), Payload: qpip.VirtualMessage(32)}
+		}
+		sent := 0
+		for sent < msgs {
+			n, err := qp.PostSendN(p, wrs[sent:])
+			if err != nil {
+				t.Errorf("PostSendN: %v", err)
+				return
+			}
+			sent += n
+		}
+		for i := 0; i < msgs; i++ {
+			scq.Wait(p)
+		}
+	})
+	c.Run()
+	if done != msgs {
+		t.Fatalf("delivered %d of %d messages", done, msgs)
+	}
+	if drops := c.Nodes[0].QPIP.Net.Get("db.drop"); drops != 0 {
+		t.Errorf("db.drop = %d: vectored doorbells overran the FIFO", drops)
+	}
+}

@@ -11,8 +11,10 @@
 //     adapters (Myrinet fabric), conventional GigE adapters, and/or
 //     Myrinet-as-IP adapters, mirroring the paper's PowerEdge testbed.
 //   - The verbs interface: QPs, CQs, work requests and completions —
-//     PostSend, PostRecv, Poll, Wait, plus TCP-rendezvous connection
-//     management handled entirely by the adapter.
+//     PostSend, PostRecv, Poll, Wait and their batch forms PostSendN,
+//     PostRecvN, PollN (one CPU charge and one vectored doorbell per
+//     batch), plus TCP-rendezvous connection management handled entirely
+//     by the adapter.
 //   - Blocking sockets on the host-based baseline stacks, for
 //     side-by-side comparison.
 //
@@ -42,6 +44,7 @@ import (
 	"repro/internal/buf"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/hw"
 	"repro/internal/inet"
 	"repro/internal/qpipnic"
 	"repro/internal/sim"
@@ -161,6 +164,17 @@ const (
 	ChecksumEmulatedHW = qpipnic.ChecksumEmulatedHW
 	ChecksumFirmware   = qpipnic.ChecksumFirmware
 )
+
+// SetBatchedBoundary switches the host↔NIC boundary mode process-wide:
+// batched (the default — vectored doorbells via PostSendN/PostRecvN,
+// whole-FIFO firmware drains, IRQ-coalesced CQ wakes) or per-token (the
+// original one-doorbell/one-wake path, kept for equivalence testing and
+// perf comparison). Call before building a cluster. With a CQ coalescing
+// delay of 0 the two modes produce identical simulated timing.
+func SetBatchedBoundary(on bool) { hw.SetBatchedBoundary(on) }
+
+// BatchedBoundary reports the current boundary mode.
+func BatchedBoundary() bool { return hw.BatchedBoundary() }
 
 // NewCluster builds n nodes with the given adapter configuration.
 func NewCluster(n int, cfg NodeConfig) *Cluster { return core.NewCluster(n, cfg) }
