@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet staticcheck race fuzz check bench microbench chaos
+.PHONY: build test vet shadow lint staticcheck govulncheck race fuzz check bench microbench chaos
 
 # Official performance measurement size and repetitions.
 BENCH_BYTES ?= 33554432
@@ -15,33 +15,63 @@ test: build
 vet:
 	$(GO) vet ./...
 
+# shadow is optional tooling (x/tools vet pass for shadowed variables):
+# run it when installed, note the skip when not.
+shadow:
+	@if command -v shadow >/dev/null 2>&1; then \
+		$(GO) vet -vettool=$$(command -v shadow) ./...; \
+	else \
+		echo "shadow: not installed, skipping (scripts/install-tools.sh installs it)"; \
+	fi
+
+# qpiplint is the repo's own determinism / datapath analyzer suite
+# (cmd/qpiplint, DESIGN §12). It is built from this tree, so it is never
+# "not installed" — a build failure fails the gate loudly rather than
+# skipping the lint.
+lint:
+	@$(GO) build -o bin/qpiplint ./cmd/qpiplint || \
+		{ echo "lint: FAILED to build cmd/qpiplint — the lint gate cannot run" >&2; exit 1; }
+	bin/qpiplint ./...
+
 # staticcheck is optional tooling: run it when installed, note the skip
 # when not (CI images without it still pass the gate on vet + tests).
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
-		echo "staticcheck: not installed, skipping (go vet still enforced)"; \
+		echo "staticcheck: not installed, skipping (go vet + qpiplint still enforced)"; \
+	fi
+
+# govulncheck is optional tooling: advisory scan, run when installed.
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck: not installed, skipping (scripts/install-tools.sh installs it)"; \
 	fi
 
 race:
 	$(GO) test -race ./...
 
 # Short smoke run of every fuzz target (header parsers); the committed
-# seed corpora also run as part of plain `go test`.
+# seed corpora also run as part of plain `go test`. The fuzz cache dir is
+# created up front: a fresh GOCACHE otherwise fails the first -fuzz run.
 fuzz:
+	@mkdir -p "$$($(GO) env GOCACHE)/fuzz"
 	$(GO) test -run=Fuzz -fuzz=FuzzParse4 -fuzztime=5s ./internal/inet
 	$(GO) test -run=Fuzz -fuzz=FuzzParse6 -fuzztime=5s ./internal/inet
 	$(GO) test -run=Fuzz -fuzz=FuzzParseHeader -fuzztime=5s ./internal/tcp
 	$(GO) test -run=Fuzz -fuzz=FuzzParse -fuzztime=5s ./internal/udp
 	$(GO) test -run=Fuzz -fuzz=FuzzVerify4 -fuzztime=5s ./internal/udp
 
-# The verification gate: static analysis, the full suite under the race
-# detector, the plain suite (also exercises the fuzz seed corpora), a
-# one-shot perf smoke so a broken harness fails the gate, not the bench
-# run, and the perf guard (the batched boundary must be no slower in wall
-# clock than the per-token datapath).
-check: vet staticcheck race test
+# The verification gate: go vet, the optional shadow pass, the repo's own
+# qpiplint suite (mandatory — proves the determinism and datapath
+# invariants, DESIGN §12), optional staticcheck and govulncheck, the full
+# suite under the race detector, the plain suite (also exercises the fuzz
+# seed corpora), a one-shot perf smoke so a broken harness fails the gate,
+# not the bench run, and the perf guard (the batched boundary must be no
+# slower in wall clock than the per-token datapath).
+check: vet shadow lint staticcheck govulncheck race test
 	$(GO) run ./cmd/qpipbench -exp perf -bytes 1048576 -perf-repeats 1 >/dev/null
 	$(GO) run ./cmd/qpipbench -exp perfguard -bytes 4194304
 

@@ -1,0 +1,197 @@
+// Command qpiplint is the repo's domain multichecker: five static
+// analyzers that prove the simulator's determinism and datapath
+// invariants over the whole tree on every `make check` (DESIGN §12).
+//
+//	simclock     no wall-clock reads in simulated packages
+//	nogoroutine  no raw goroutines or sync primitives in simulated packages
+//	maporder     no order-sensitive range-over-map loops
+//	bufref       pooled packet/segment/frame lifecycles balance
+//	hotalloc     //qpip:hotpath functions stay allocation-free
+//
+// Usage:
+//
+//	qpiplint [-run name,name] [packages...]     # default ./...
+//	go vet -vettool=$(command -v qpiplint) ./...
+//
+// The second form speaks the go command's vettool protocol (-V=full,
+// -flags, and the JSON .cfg unit-checking mode), so qpiplint slots into
+// `go vet` with per-package caching. Exit status: 0 clean, 1 findings,
+// 2 usage or load failure.
+//
+// Findings are suppressed line-by-line with
+//
+//	//lint:qpip-allow <analyzer> <reason>
+//
+// on the flagged line or the line above it; the reason is mandatory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis/bufref"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/nogoroutine"
+	"repro/internal/analysis/simclock"
+)
+
+var all = []*framework.Analyzer{
+	simclock.Analyzer,
+	nogoroutine.Analyzer,
+	maporder.Analyzer,
+	bufref.Analyzer,
+	hotalloc.Analyzer,
+}
+
+func main() {
+	// go vet's vettool handshake: version for the build cache key, flag
+	// inventory, then one .cfg file per package unit.
+	if len(os.Args) == 2 {
+		switch {
+		case strings.HasPrefix(os.Args[1], "-V"):
+			fmt.Println("qpiplint version qpip-1")
+			return
+		case os.Args[1] == "-flags":
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(os.Args[1], ".cfg"):
+			unitCheck(os.Args[1])
+			return
+		}
+	}
+
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: qpiplint [-run name,name] [packages...]\n\nanalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	analyzers, err := selectAnalyzers(*run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qpiplint:", err)
+		os.Exit(2)
+	}
+
+	pkgs, err := load.Load(flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qpiplint:", err)
+		os.Exit(2)
+	}
+
+	exit := 0
+	for _, pkg := range pkgs {
+		findings, err := framework.Run(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qpiplint:", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func selectAnalyzers(names string) ([]*framework.Analyzer, error) {
+	if names == "" {
+		return all, nil
+	}
+	byName := map[string]*framework.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*framework.Analyzer
+	for _, n := range strings.Split(names, ",") {
+		a := byName[strings.TrimSpace(n)]
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// vetConfig is the JSON the go command hands a vettool for one package
+// (the same schema x/tools' unitchecker reads).
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitCheck analyzes one package unit under `go vet -vettool=qpiplint`.
+func unitCheck(cfgFile string) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qpiplint:", err)
+		os.Exit(2)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "qpiplint: parsing %s: %v\n", cfgFile, err)
+		os.Exit(2)
+	}
+
+	// The go command requires the facts output file to exist afterwards;
+	// qpiplint keeps no cross-package facts, so it is empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "qpiplint:", err)
+			os.Exit(2)
+		}
+	}
+	if cfg.VetxOnly {
+		return
+	}
+
+	// Imports resolve through the export files the go command already
+	// compiled, after mapping through ImportMap (vendoring, test variants).
+	exportFor := load.ExportLookup(cfg.PackageFile)
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		return exportFor(path)
+	})
+	pkg, err := load.CheckFiles(fset, cfg.ImportPath, cfg.GoFiles, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "qpiplint:", err)
+		os.Exit(2)
+	}
+	findings, err := framework.Run(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, all)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qpiplint:", err)
+		os.Exit(2)
+	}
+	if len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+		}
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,329 @@
+// Package bufref checks pooled-object lifecycles on the datapath.
+//
+// The zero-alloc hot path (DESIGN §10) draws its per-packet objects from
+// pools: wire.Get() hands out reference-counted *wire.Packet, tcp.
+// NewSegment() hands out *tcp.Segment, fabric.NewFrame() hands out
+// *fabric.Frame. Each acquire must be balanced — the object is either
+// released in the acquiring function or its ownership visibly handed off
+// (passed to a callee, stored into a structure, returned). An acquire
+// that does neither leaks the object out of its pool; in pooled mode
+// that quietly regrows the allocation rate the PR 2 work removed, and a
+// use after Release is a recycling race that corrupts a later packet.
+//
+// Two checks, both intra-procedural and syntactic by design (the runtime
+// alloc-regression pins remain the backstop for inter-procedural flows):
+//
+//  1. Acquire balance: for `v := wire.Get()` (etc.), the function must
+//     either call v.Release() on some path, or let v escape — v passed
+//     as a call argument (ownership handoff, e.g. fab.Send(frame, ...)),
+//     assigned to a field / element / outer variable, stored in a
+//     composite literal, or returned.
+//
+//  2. Use after release in straight-line code: after a statement-level
+//     v.Release() in a block, any later use of v in that block (before a
+//     reassignment of v) is flagged. Deferred releases are exempt — they
+//     run at function exit by definition.
+//
+// Documented handoffs that the syntax can't see can carry
+// "//lint:qpip-allow bufref <reason>".
+package bufref
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the bufref check.
+var Analyzer = &framework.Analyzer{
+	Name: "bufref",
+	Doc:  "check pooled wire.Packet / tcp.Segment / fabric.Frame acquire-release balance and use-after-release",
+	Run:  run,
+}
+
+// pooledAcquire describes one pool's acquire function. Packages are
+// matched by import-path suffix so the analysistest fixtures can model
+// them with small stand-in packages.
+type pooledAcquire struct {
+	pkgSuffix string // import-path tail of the defining package
+	fn        string // acquiring function name
+	what      string // human name of the pooled object
+}
+
+var acquires = []pooledAcquire{
+	{"internal/wire", "Get", "wire.Packet"},
+	{"internal/tcp", "NewSegment", "tcp.Segment"},
+	{"internal/fabric", "NewFrame", "fabric.Frame"},
+}
+
+// pooledPkgSuffixes marks the packages whose Release methods participate
+// in the use-after-release check.
+func isPooledType(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	name := named.Obj().Name()
+	for _, a := range acquires {
+		if !pkgMatches(path, a.pkgSuffix) {
+			continue
+		}
+		switch name {
+		case "Packet", "Segment", "Frame":
+			return true
+		}
+	}
+	return false
+}
+
+func pkgMatches(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			}
+			if body == nil {
+				return true
+			}
+			checkAcquires(pass, body)
+			checkUseAfterRelease(pass, body)
+			return true
+		})
+	}
+	return nil
+}
+
+// matchAcquire reports which pool, if any, the call acquires from.
+func matchAcquire(pass *framework.Pass, call *ast.CallExpr) (pooledAcquire, bool) {
+	fn := framework.CalleeName(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return pooledAcquire{}, false
+	}
+	for _, a := range acquires {
+		if fn.Name() == a.fn && pkgMatches(fn.Pkg().Path(), a.pkgSuffix) {
+			return a, true
+		}
+	}
+	return pooledAcquire{}, false
+}
+
+// checkAcquires enforces release-or-escape for each `v := acquire()` in
+// the function body (direct assignments to a plain identifier only; an
+// acquire whose result feeds straight into a call or field is already an
+// escape).
+func checkAcquires(pass *framework.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// Nested function literals are visited as their own bodies.
+			return false
+		}
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		acq, ok := matchAcquire(pass, call)
+		if !ok {
+			return true
+		}
+		id, ok := asg.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := objectOf(pass, id)
+		if obj == nil {
+			return true
+		}
+		if !releasedOrEscaped(pass, body, asg, obj) {
+			pass.Reportf(asg.Pos(),
+				"pooled %s acquired into %q is neither released nor handed off in this function: call %s.Release() on every return path or pass ownership on",
+				acq.what, id.Name, id.Name)
+		}
+		return true
+	})
+}
+
+func objectOf(pass *framework.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// releasedOrEscaped scans the function body after the acquire for either
+// a v.Release() call or an ownership escape of v.
+func releasedOrEscaped(pass *framework.Pass, body *ast.BlockStmt, acquire *ast.AssignStmt, obj types.Object) bool {
+	ok := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ok || n == nil || n.End() <= acquire.End() {
+			return !ok
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// v.Release() — explicit release.
+			if sel, isSel := ast.Unparen(n.Fun).(*ast.SelectorExpr); isSel && sel.Sel.Name == "Release" {
+				if id, isID := ast.Unparen(sel.X).(*ast.Ident); isID && pass.TypesInfo.Uses[id] == obj {
+					ok = true
+					return false
+				}
+			}
+			// v as a call argument — ownership handoff.
+			for _, arg := range n.Args {
+				if id, isID := ast.Unparen(arg).(*ast.Ident); isID && pass.TypesInfo.Uses[id] == obj {
+					ok = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			// v stored somewhere non-local: field, element, or any LHS that
+			// is not the plain identifier v itself.
+			for i, rhs := range n.Rhs {
+				if id, isID := ast.Unparen(rhs).(*ast.Ident); isID && pass.TypesInfo.Uses[id] == obj {
+					if i < len(n.Lhs) {
+						if lhs, isID := n.Lhs[i].(*ast.Ident); isID && pass.TypesInfo.Uses[lhs] == obj {
+							continue // v = v, meaningless
+						}
+					}
+					ok = true
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				e := elt
+				if kv, isKV := elt.(*ast.KeyValueExpr); isKV {
+					e = kv.Value
+				}
+				if id, isID := ast.Unparen(e).(*ast.Ident); isID && pass.TypesInfo.Uses[id] == obj {
+					ok = true
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if id, isID := ast.Unparen(res).(*ast.Ident); isID && pass.TypesInfo.Uses[id] == obj {
+					ok = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// checkUseAfterRelease flags straight-line uses of a pooled object after
+// a statement-level v.Release() in the same block.
+func checkUseAfterRelease(pass *framework.Pass, body *ast.BlockStmt) {
+	var walkBlock func(stmts []ast.Stmt)
+	walkBlock = func(stmts []ast.Stmt) {
+		// released maps object -> the Release statement index.
+		released := map[types.Object]bool{}
+		for _, st := range stmts {
+			// Recurse into nested blocks with a fresh tracking scope: the
+			// straight-line guarantee holds only within one block.
+			switch s := st.(type) {
+			case *ast.BlockStmt:
+				walkBlock(s.List)
+				continue
+			case *ast.IfStmt:
+				walkBlock(s.Body.List)
+				if alt, ok := s.Else.(*ast.BlockStmt); ok {
+					walkBlock(alt.List)
+				}
+				continue
+			case *ast.ForStmt:
+				walkBlock(s.Body.List)
+				continue
+			case *ast.RangeStmt:
+				walkBlock(s.Body.List)
+				continue
+			case *ast.SwitchStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						walkBlock(cc.Body)
+					}
+				}
+				continue
+			case *ast.TypeSwitchStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						walkBlock(cc.Body)
+					}
+				}
+				continue
+			case *ast.DeferStmt:
+				continue // deferred releases run at exit; not straight-line
+			}
+
+			// Any use of an already-released object in this statement?
+			for obj := range released {
+				if use := findUse(pass, st, obj); use != nil {
+					pass.Reportf(use.Pos(),
+						"use of pooled %q after %s.Release(): the object may already be recycled into another in-flight packet",
+						obj.Name(), obj.Name())
+					delete(released, obj) // one report per release
+				}
+			}
+
+			// Reassignment kills the released mark.
+			if asg, ok := st.(*ast.AssignStmt); ok {
+				for _, lhs := range asg.Lhs {
+					if id, isID := lhs.(*ast.Ident); isID {
+						if obj := objectOf(pass, id); obj != nil {
+							delete(released, obj)
+						}
+					}
+				}
+			}
+
+			// A statement-level v.Release() marks v released.
+			if es, ok := st.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Release" {
+						if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+							if obj := pass.TypesInfo.Uses[id]; obj != nil && isPooledType(obj.Type()) {
+								released[obj] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	walkBlock(body.List)
+}
+
+// findUse returns the first identifier in stmt that refers to obj, or nil.
+func findUse(pass *framework.Pass, stmt ast.Stmt, obj types.Object) ast.Node {
+	var found ast.Node
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = id
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package bufref_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/bufref"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, bufref.Analyzer, "../testdata/src", "bufref")
+}

@@ -1,0 +1,302 @@
+// Package hotalloc keeps //qpip:hotpath functions allocation-free at
+// compile time.
+//
+// PR 2 made the steady-state datapath allocate nothing (DESIGN §10); the
+// guarantee is pinned by runtime testing.AllocsPerRun regressions, which
+// only cover the benchmarked paths. This analyzer makes the property
+// local and total: a function whose doc comment contains the line
+//
+//	//qpip:hotpath
+//
+// is checked for the allocation patterns that have actually bitten this
+// codebase:
+//
+//   - function literals (a closure capturing variables allocates its
+//     environment per call — bind continuations once at construction
+//     instead, as chainRun and Proc do);
+//   - calls into package fmt (Sprintf and friends allocate; hot paths
+//     use precomputed names);
+//   - string concatenation with a non-constant operand;
+//   - interface boxing: passing or converting a concrete non-pointer
+//     value to an interface parameter heap-allocates the value (pointer,
+//     func, chan and map values are word-sized and do not);
+//   - append to a function-local slice declared without capacity (grows
+//     per call; fields backed by reused arrays are fine and exempt).
+//
+// Arguments of panic(...) are exempt everywhere: a hot path may format
+// its dying words. Known-cold branches inside a hot function carry
+// "//lint:qpip-allow hotalloc <reason>" (e.g. verbs error returns, the
+// legacy heap queue).
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Annotation marks a function as hot-path; it must appear as its own
+// line inside the function's doc comment.
+const Annotation = "qpip:hotpath"
+
+// Analyzer is the hotalloc check.
+var Analyzer = &framework.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag allocating constructs (closures, fmt, boxing, string concat, growing append) in //qpip:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !annotated(fd) {
+				continue
+			}
+			check(pass, fd)
+		}
+	}
+	return nil
+}
+
+func annotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == Annotation {
+			return true
+		}
+	}
+	return false
+}
+
+func check(pass *framework.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	// Spans of panic(...) argument lists; anything inside is exempt.
+	var panicSpans []span
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && framework.IsPanicCall(info, call) {
+			panicSpans = append(panicSpans, span{call.Lparen, call.Rparen})
+		}
+		return true
+	})
+	inPanic := func(pos token.Pos) bool {
+		for _, s := range panicSpans {
+			if s.lo <= pos && pos <= s.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Local slices declared without capacity: var s []T, s := []T{},
+	// s := make([]T, n) (no cap).
+	unsized := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					if obj := info.Defs[name]; obj != nil && isSlice(obj.Type()) {
+						unsized[obj] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(n.Rhs) {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil || !isSlice(obj.Type()) {
+					continue
+				}
+				switch rhs := ast.Unparen(n.Rhs[i]).(type) {
+				case *ast.CompositeLit:
+					if len(rhs.Elts) == 0 {
+						unsized[obj] = true
+					}
+				case *ast.CallExpr:
+					if id, ok := ast.Unparen(rhs.Fun).(*ast.Ident); ok {
+						if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "make" && len(rhs.Args) < 3 {
+							unsized[obj] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if inPanic(n.Pos()) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(),
+				"closure in //%s function %s allocates its environment per call: bind the continuation once at construction",
+				Annotation, fd.Name.Name)
+			return false // don't double-report the closure's own body
+		case *ast.CallExpr:
+			checkCall(pass, fd, n)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info.Types[n.X].Type) && info.Types[n].Value == nil {
+				pass.Reportf(n.Pos(),
+					"non-constant string concatenation in //%s function %s allocates: precompute the string",
+					Annotation, fd.Name.Name)
+			}
+		}
+		return true
+	})
+
+	// Growing appends to unsized locals.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || inPanic(call.Pos()) {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+			return true
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		dst, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := info.Uses[dst]; obj != nil && unsized[obj] {
+			pass.Reportf(call.Pos(),
+				"append to unsized local slice %q in //%s function %s grows per call: preallocate with capacity or reuse a field-backed array",
+				dst.Name, Annotation, fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// checkCall flags fmt calls and interface-boxing arguments.
+func checkCall(pass *framework.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.TypesInfo
+
+	// panic(x) boxes x into its any parameter, but the panic exemption
+	// covers the whole argument list: a hot path may format its dying words.
+	if framework.IsPanicCall(info, call) {
+		return
+	}
+
+	// Conversion to an interface type: any(x), io.Reader(x), ...
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if t := info.Types[call.Args[0]].Type; t != nil && boxes(t) {
+				pass.Reportf(call.Pos(),
+					"conversion of %s to interface in //%s function %s heap-allocates the value",
+					t.String(), Annotation, fd.Name.Name)
+			}
+		}
+		return
+	}
+
+	fn := framework.CalleeName(info, call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(),
+			"fmt.%s in //%s function %s allocates: hot paths use precomputed strings",
+			fn.Name(), Annotation, fd.Name.Name)
+		return
+	}
+
+	// Interface-typed parameters receiving concrete non-pointer values.
+	sigTV, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := sigTV.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice itself; nothing boxes here
+			}
+			st, isSlice := params.At(params.Len() - 1).Type().Underlying().(*types.Slice)
+			if !isSlice {
+				continue
+			}
+			pt = st.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := info.Types[arg].Type
+		if at == nil || !boxes(at) {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"passing %s to interface parameter in //%s function %s heap-allocates the value (boxing)",
+			at.String(), Annotation, fd.Name.Name)
+	}
+}
+
+// boxes reports whether converting a value of type t to an interface
+// allocates: true for concrete non-reference types (structs, strings,
+// slices, numbers held in multiword forms...), false for pointers and
+// other word-sized reference kinds, interfaces, and untyped nil.
+func boxes(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return false
+	case *types.Basic:
+		b := t.Underlying().(*types.Basic)
+		if b.Kind() == types.UntypedNil || b.Kind() == types.UnsafePointer {
+			return false
+		}
+		return true
+	}
+	return true
+}
+
+func isSlice(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+type span struct{ lo, hi token.Pos }

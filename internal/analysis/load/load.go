@@ -1,0 +1,199 @@
+// Package load turns package patterns into parsed, type-checked packages
+// for qpiplint, using only the standard library and the go command.
+//
+// The strategy mirrors what golang.org/x/tools/go/packages does in
+// LoadAllSyntax mode, cut down to this repo's needs: one `go list -deps
+// -export -json` invocation yields every target package's file list plus
+// compiled export data for the whole dependency graph (stdlib included),
+// and each target is then parsed with go/parser and type-checked with
+// go/types, resolving imports through the export data via go/importer's
+// lookup mode. Export-data resolution means imports type-check without
+// re-walking their sources, and works offline — nothing is fetched.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns with the go command and returns every matched
+// package, parsed and type-checked. Dependencies (including intra-module
+// ones) are resolved from compiled export data, so only the matched
+// packages' sources are parsed.
+func Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list failed: %v\n%s", err, stderr.String())
+	}
+
+	var targets []*listPackage
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("parsing go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := ExportLookup(exports)
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		pkg, err := CheckFiles(fset, t.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// Exports lists patterns with `go list -deps -export -json` and returns
+// the import-path -> compiled-export-data-file map for the whole listed
+// graph, without parsing anything. The analysistest fixture loader uses it
+// to resolve the handful of stdlib imports fixtures make (time, sync, fmt).
+func Exports(patterns ...string) (map[string]string, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list failed: %v\n%s", err, stderr.String())
+	}
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("parsing go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// ExportLookup builds the go/importer lookup function over a map from
+// import path to compiled export-data file.
+func ExportLookup(exports map[string]string) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// CheckFiles parses the named files as one package and type-checks them,
+// resolving imports through imp. Comments are retained (the suppression
+// scanner and the //qpip:hotpath annotation both need them).
+func CheckFiles(fset *token.FileSet, importPath string, filenames []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return CheckParsed(fset, importPath, files, imp)
+}
+
+// CheckParsed type-checks already-parsed files as one package.
+func CheckParsed(fset *token.FileSet, importPath string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	var errs []string
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			errs = append(errs, err.Error())
+		},
+	}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil && len(errs) == 0 {
+		errs = append(errs, err.Error())
+	}
+	if len(errs) > 0 {
+		const max = 10
+		if len(errs) > max {
+			errs = append(errs[:max], fmt.Sprintf("... and %d more errors", len(errs)-max))
+		}
+		return nil, fmt.Errorf("type-checking %s:\n\t%s", importPath, strings.Join(errs, "\n\t"))
+	}
+	return &Package{Path: importPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,12 @@
+package nogoroutine_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nogoroutine"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, nogoroutine.Analyzer, "../testdata/src", "nogoroutine")
+}

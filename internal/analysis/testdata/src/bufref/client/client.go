@@ -1,0 +1,51 @@
+// Package client exercises the pooled-lifecycle checks against the
+// stand-in wire package.
+package client
+
+import "bufref/internal/wire"
+
+func send(p *wire.Packet) {}
+
+// leak acquires a packet and neither releases nor hands it off.
+func leak() int {
+	p := wire.Get() // want `pooled wire.Packet acquired into "p" is neither released nor handed off`
+	return p.Len()
+}
+
+// balanced releases on the same path: legal.
+func balanced() int {
+	p := wire.Get()
+	n := p.Len()
+	p.Release()
+	return n
+}
+
+// handoff passes ownership to a callee: legal.
+func handoff() {
+	p := wire.Get()
+	send(p)
+}
+
+// deferred releases at function exit: legal, and the use between the
+// defer and the return is fine.
+func deferred() int {
+	p := wire.Get()
+	defer p.Release()
+	return p.Len()
+}
+
+// useAfterRelease touches the packet after giving it back to the pool.
+func useAfterRelease() int {
+	p := wire.Get()
+	p.Release()
+	return p.Len() // want `use of pooled "p" after p.Release\(\)`
+}
+
+// peeked would be flagged as a leak — the packet is neither released nor
+// handed off — but the allow documents why this diagnostic helper is
+// exempt.
+func peeked() int {
+	//lint:qpip-allow bufref probe packet is deliberately abandoned in this diagnostic helper
+	p := wire.Get()
+	return p.Len()
+}

@@ -1,0 +1,85 @@
+// Package hot exercises the //qpip:hotpath allocation checks. The package
+// path does not matter: hotalloc keys on the annotation, not the tree.
+package hot
+
+import "fmt"
+
+func sink(v any)   {}
+func use(f func()) {}
+
+// closures allocates its environment per call.
+//
+//qpip:hotpath
+func closures(n int) {
+	use(func() { n++ }) // want `closure in //qpip:hotpath function closures`
+}
+
+// formatted calls into fmt on the hot path.
+//
+//qpip:hotpath
+func formatted(n int) string {
+	return fmt.Sprintf("%d", n) // want `fmt.Sprintf in //qpip:hotpath function formatted`
+}
+
+// concat builds a string from a non-constant operand.
+//
+//qpip:hotpath
+func concat(name string) string {
+	return "qp:" + name // want `non-constant string concatenation in //qpip:hotpath function concat`
+}
+
+// boxed passes a concrete value to an interface parameter.
+//
+//qpip:hotpath
+func boxed(n int) {
+	sink(n) // want `passing int to interface parameter in //qpip:hotpath function boxed`
+}
+
+// grown appends to a local slice declared without capacity.
+//
+//qpip:hotpath
+func grown(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `append to unsized local slice "out" in //qpip:hotpath function grown`
+	}
+	return out
+}
+
+// dyingWords may format its panic message: panic arguments are exempt.
+//
+//qpip:hotpath
+func dyingWords(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("negative count %d", n))
+	}
+}
+
+// preallocated appends into capacity reserved up front: legal.
+//
+//qpip:hotpath
+func preallocated(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// coldBranch is hot, but its error return is cold by construction and
+// carries the allow.
+//
+//qpip:hotpath
+func coldBranch(n, limit int) error {
+	if n > limit {
+		//lint:qpip-allow hotalloc rejected-input error path, cold by construction
+		return fmt.Errorf("count %d over limit %d", n, limit)
+	}
+	return nil
+}
+
+// unannotated allocates freely: without the annotation nothing is checked.
+func unannotated(n int) string {
+	use(func() { n++ })
+	return fmt.Sprintf("%d", n)
+}

@@ -1,0 +1,17 @@
+// Package bench stands in for the parallel sweep harness: not a simulated
+// package, so goroutines and sync primitives are legal here.
+package bench
+
+import "sync"
+
+func fanOut(jobs []func()) {
+	var wg sync.WaitGroup
+	for _, job := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			job()
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,29 @@
+// Package sim stands in for the simulation engine: its import path ends
+// in internal/sim, so nogoroutine treats it exactly like the real one.
+package sim
+
+import "sync"
+
+var mu sync.Mutex // want `sync.Mutex in simulated package`
+
+func spawn(fn func()) {
+	go fn() // want `go statement in simulated package`
+}
+
+func locked(fn func()) {
+	mu.Lock() // want `sync.Lock in simulated package`
+	fn()
+}
+
+// The pooled free-list exception: the declaration carries the allow, and
+// the Get/Put method calls below are deliberately not re-reported — the
+// declaration is the single suppressible site.
+//
+//lint:qpip-allow nogoroutine free list only; object identity never reaches event order
+var scratch = sync.Pool{New: func() any { return new([64]byte) }}
+
+func fromPool() *[64]byte {
+	b := scratch.Get().(*[64]byte)
+	scratch.Put(b)
+	return b
+}

@@ -1,0 +1,15 @@
+// Package bench stands in for harness code: its import path matches no
+// simulated suffix, so wall-clock reads here are legal and produce no
+// findings.
+package bench
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClockIsFineHere() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Duration(rand.Intn(3)) * time.Millisecond)
+	return time.Since(start)
+}

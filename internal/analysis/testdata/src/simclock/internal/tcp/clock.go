@@ -1,0 +1,28 @@
+// Package tcp stands in for a simulated protocol stack: its import path
+// ends in internal/tcp, so simclock treats it exactly like the real one.
+package tcp
+
+import (
+	"math/rand" // want `import of "math/rand" in simulated package`
+	"time"
+)
+
+// tick exercises pure time types: Duration arithmetic reads no clock and
+// must stay legal.
+const tick = 10 * time.Millisecond
+
+func retransmitDelay(attempt int) time.Duration {
+	return tick << attempt
+}
+
+func wallClockBugs() time.Duration {
+	start := time.Now()               // want `time.Now in simulated package`
+	time.Sleep(tick)                  // want `time.Sleep in simulated package`
+	return time.Since(start) / tick * // want `time.Since in simulated package`
+		time.Duration(rand.Intn(3))
+}
+
+func allowedStartupStamp() int64 {
+	//lint:qpip-allow simclock one-time run-id stamp taken before the simulation starts
+	return time.Now().UnixNano()
+}

@@ -108,6 +108,10 @@ func retainPayload(p any) {
 	}
 }
 
+// Frame identity never reaches event order: frames are recycled only after
+// their final delivery fires, and a recycled frame is fully re-initialized.
+//
+//lint:qpip-allow nogoroutine free list only; no synchronization semantics leak into the model
 var framePool = sync.Pool{New: func() any { return new(Frame) }}
 
 // NewFrame builds a frame, drawn from a pool when datapath pooling is

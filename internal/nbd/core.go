@@ -223,7 +223,16 @@ func (c *core) fail(err error) {
 		return
 	}
 	c.failed = err
-	for _, o := range c.inflight {
+	// Wake waiters in handle (issue) order, not map order: each Wake runs
+	// the woken process until it parks again, so the wake sequence is
+	// observable simulation behaviour and must replay identically.
+	handles := make([]uint64, 0, len(c.inflight))
+	for h := range c.inflight {
+		handles = append(handles, h)
+	}
+	sortUint64s(handles)
+	for _, h := range handles {
+		o := c.inflight[h]
 		o.done = true
 		o.errno = 5 // EIO
 		if o.waiter != nil {
@@ -250,4 +259,13 @@ func (c *core) fail(err error) {
 // Stats reports (reads, writes, readaheads).
 func (c *core) Stats() (reads, writes, readaheads uint64) {
 	return c.reads, c.writes, c.readaheads
+}
+
+func sortUint64s(a []uint64) {
+	// Insertion sort is fine: inflight is bounded by the queue depth.
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
 }

@@ -151,6 +151,8 @@ func newChainRun(n *NIC) *chainRun {
 }
 
 // getChain hands out a runner with done set and all operand state cleared.
+//
+//qpip:hotpath
 func (n *NIC) getChain(done func()) *chainRun {
 	var cr *chainRun
 	if k := len(n.chainFree); k > 0 && pool.Enabled() {
@@ -167,6 +169,8 @@ func (n *NIC) getChain(done func()) *chainRun {
 // putChain clears pointer-holding state and returns the runner to the free
 // list. Stage entries past nStages are stale but only reachable through
 // nStages, which every get resets.
+//
+//qpip:hotpath
 func (n *NIC) putChain(cr *chainRun) {
 	for j := 0; j < cr.nStages; j++ {
 		cr.stages[j].fn = nil
@@ -186,18 +190,24 @@ func (n *NIC) putChain(cr *chainRun) {
 }
 
 // push appends one stage.
+//
+//qpip:hotpath
 func (cr *chainRun) push(st stage) {
 	cr.stages[cr.nStages] = st
 	cr.nStages++
 }
 
 // use copies a template stage sequence into the runner.
+//
+//qpip:hotpath
 func (cr *chainRun) use(tpl []stage) {
 	cr.nStages = copy(cr.stages[:], tpl)
 }
 
 // run executes stages until one schedules an event (each stage's
 // continuation re-enters run), then frees the runner and calls done.
+//
+//qpip:hotpath
 func (cr *chainRun) run() {
 	for {
 		if cr.i >= cr.nStages {

@@ -20,8 +20,10 @@
 package qpipnic
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/buf"
 	"repro/internal/fabric"
@@ -272,11 +274,26 @@ func (n *NIC) CPU() *sim.CPU { return n.cpu }
 // Stats returns adapter counters.
 func (n *NIC) Stats() Stats { return n.stats }
 
-// DebugConnStats exposes per-connection TCP stats for diagnostics.
+// DebugConnStats exposes per-connection TCP stats for diagnostics, in
+// connection-key order so diffing two runs' diagnostics is meaningful.
 func (n *NIC) DebugConnStats() []tcp.Stats {
-	var out []tcp.Stats
-	for _, qs := range n.tcpConns {
-		out = append(out, qs.conn.Stats())
+	keys := make([]tcpKey, 0, len(n.tcpConns))
+	for k := range n.tcpConns {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.localPort != b.localPort {
+			return a.localPort < b.localPort
+		}
+		if c := bytes.Compare(a.remoteAddr[:], b.remoteAddr[:]); c != 0 {
+			return c < 0
+		}
+		return a.remotePort < b.remotePort
+	})
+	out := make([]tcp.Stats, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, n.tcpConns[k].conn.Stats())
 	}
 	return out
 }

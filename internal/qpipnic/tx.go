@@ -32,6 +32,8 @@ type txWork struct {
 }
 
 // enqueueTx adds work and kicks the scheduler.
+//
+//qpip:hotpath
 func (n *NIC) enqueueTx(w txWork) {
 	n.txQ = append(n.txQ, w)
 	n.kickTx()
@@ -40,6 +42,8 @@ func (n *NIC) enqueueTx(w txWork) {
 // kickTx runs the scheduler if idle. The queue drains through a head index
 // so steady-state traffic reuses one backing array instead of re-slicing
 // (and re-growing) per work item.
+//
+//qpip:hotpath
 func (n *NIC) kickTx() {
 	if n.txBusy || n.txQHead >= len(n.txQ) {
 		return
@@ -59,6 +63,8 @@ func (n *NIC) kickTx() {
 // into the scratch buffer, tokens may carry a WR count); per-token mode
 // keeps the original one-Pop loop. For count-1 tokens the two paths
 // enqueue identical work in identical order.
+//
+//qpip:hotpath
 func (n *NIC) onDoorbell() {
 	if !hw.BatchedBoundary() {
 		for {
@@ -100,6 +106,8 @@ func (n *NIC) onDoorbell() {
 }
 
 // runTxWork executes one scheduler item.
+//
+//qpip:hotpath
 func (n *NIC) runTxWork(w txWork, done func()) {
 	if w.seg != nil {
 		n.sendSegment(w.qs, w.seg, done)
@@ -111,6 +119,8 @@ func (n *NIC) runTxWork(w txWork, done func()) {
 // consumeSendWR processes one posted send WR: Doorbell Process (skipped
 // for the amortized tail of a vectored token), Schedule, Get WR, then
 // hand the message to the transport (the stTxWR stage).
+//
+//qpip:hotpath
 func (n *NIC) consumeSendWR(qs *qpState, amortized bool, done func()) {
 	if qs.pendingWRs <= 0 || n.qps[qs.qp.QPN] == nil {
 		done()
@@ -129,6 +139,8 @@ func (n *NIC) consumeSendWR(qs *qpState, amortized bool, done func()) {
 
 // sendTCPMessage feeds one message into the TCB; segments the window
 // admits transmit inline.
+//
+//qpip:hotpath
 func (n *NIC) sendTCPMessage(qs *qpState, wr verbs.SendWR, done func()) {
 	now := int64(n.eng.Now())
 	qs.pushSendID(wr.ID)
@@ -146,6 +158,8 @@ func (n *NIC) sendTCPMessage(qs *qpState, wr verbs.SendWR, done func()) {
 // sendUDPMessage transmits one unreliable datagram. "As soon as a UDP
 // message is sent, the associated send WR is marked as complete"
 // (paper §3).
+//
+//qpip:hotpath
 func (n *NIC) sendUDPMessage(qs *qpState, wr verbs.SendWR, done func()) {
 	att, err := n.cfg.Routes.Lookup(wr.RemoteAddr)
 	if err != nil {
@@ -178,6 +192,8 @@ func (n *NIC) sendUDPMessage(qs *qpState, wr verbs.SendWR, done func()) {
 
 // sendSegment transmits one ready TCP segment (scheduler path for acks,
 // retransmissions and window-opened data).
+//
+//qpip:hotpath
 func (n *NIC) sendSegment(qs *qpState, seg *tcp.Segment, done func()) {
 	isData := seg.Payload.Len() > 0
 	if isData {
@@ -295,6 +311,8 @@ func (n *NIC) handleActionsChain(qs *qpState, acts tcp.Actions, done func()) {
 }
 
 // placeRecord runs the Get WR / Put Data / Update chain for one record.
+//
+//qpip:hotpath
 func (n *NIC) placeRecord(qs *qpState, wr verbs.RecvWR, rec buf.Buf, raddr inet.Addr6, rport uint16, next func()) {
 	status := verbs.StatusSuccess
 	if rec.Len() > wr.Capacity {
@@ -314,6 +332,8 @@ func (n *NIC) placeRecord(qs *qpState, wr verbs.RecvWR, rec buf.Buf, raddr inet.
 
 // drainStashAndUpdate delivers SRAM-stashed records into newly posted WRs,
 // then re-advertises the receive window (the RecvPosted path).
+//
+//qpip:hotpath
 func (n *NIC) drainStashAndUpdate(qs *qpState) {
 	cr := n.getChain(nil)
 	cr.qs = qs
@@ -325,6 +345,8 @@ func (n *NIC) drainStashAndUpdate(qs *qpState) {
 // syncTimer keeps one engine timer aligned with the TCB's earliest
 // deadline — the transmit FSM "monitors for timeout/retransmit events
 // pending on a QP" (paper §3.1).
+//
+//qpip:hotpath
 func (n *NIC) syncTimer(qs *qpState) {
 	if qs.timer != nil {
 		qs.timer.Cancel()
@@ -346,6 +368,8 @@ func (n *NIC) syncTimer(qs *qpState) {
 
 // onQPTimer is the timer callback body; qs.timerFn binds it once at QP
 // creation so re-arming the timer never allocates.
+//
+//qpip:hotpath
 func (n *NIC) onQPTimer(qs *qpState) {
 	qs.timer = nil
 	now := int64(n.eng.Now())

@@ -203,6 +203,8 @@ func (e *Engine) Fired() uint64 { return e.fired }
 func (e *Engine) Pending() int { return e.live }
 
 // alloc hands out an event, reusing the free list in wheel mode.
+//
+//qpip:hotpath
 func (e *Engine) alloc(t Time, name string, fn func()) *Event {
 	ev := e.free
 	if ev != nil {
@@ -219,6 +221,8 @@ func (e *Engine) alloc(t Time, name string, fn func()) *Event {
 // recycle returns a fired or cancelled event to the free list. The state
 // field is deliberately left as evFired/evCanceled so a stale holder's
 // Canceled() read stays truthful until the event is handed out again.
+//
+//qpip:hotpath
 func (e *Engine) recycle(ev *Event) {
 	if e.legacy {
 		return // legacy engines model the original allocate-per-event path
@@ -233,6 +237,8 @@ func (e *Engine) recycle(ev *Event) {
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a model bug.
+//
+//qpip:hotpath
 func (e *Engine) At(t Time, name string, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: event %q scheduled at %v, before now %v", name, t, e.now))
@@ -264,6 +270,8 @@ func (e *Engine) At(t Time, name string, fn func()) *Event {
 }
 
 // After schedules fn to run d nanoseconds from now. Negative d panics.
+//
+//qpip:hotpath
 func (e *Engine) After(d Time, name string, fn func()) *Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: event %q scheduled after negative delay %v", name, d))
@@ -277,6 +285,8 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // peek exposes the next live event without firing it, refilling the due
 // buffer from the wheel as needed. It reports false when the queue is empty.
+//
+//qpip:hotpath
 func (e *Engine) peek() (*Event, bool) {
 	if e.legacy {
 		for len(e.queue) > 0 {
@@ -306,6 +316,8 @@ func (e *Engine) peek() (*Event, bool) {
 }
 
 // step pops and runs the next event. It reports false when the queue is empty.
+//
+//qpip:hotpath
 func (e *Engine) step() bool {
 	ev, ok := e.peek()
 	if !ok {

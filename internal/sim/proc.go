@@ -39,6 +39,10 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 	}
 	p.wakeFn = func() { p.Wake() }
 	e.After(0, "spawn:"+name, func() {
+		// The goroutine IS the coroutine mechanism: exactly one runs at a
+		// time, handing off through the baton channel, so the engine stays
+		// logically single-threaded (DESIGN §4).
+		//lint:qpip-allow nogoroutine coroutine carrier with strict baton handoff
 		go func() {
 			fn(p)
 			p.dead = true

@@ -27,6 +27,8 @@ func (s *Server) Name() string { return s.name }
 
 // Do enqueues a job of the given duration and schedules done (which may be
 // nil) to run when the job completes. It returns the completion time.
+//
+//qpip:hotpath
 func (s *Server) Do(d Time, what string, done func()) Time {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: server %s job %q with negative duration %v", s.name, what, d))
@@ -139,6 +141,8 @@ func (c *CPU) Cycles(d Time) float64 {
 }
 
 // DoCycles enqueues a job costing the given number of cycles.
+//
+//qpip:hotpath
 func (c *CPU) DoCycles(cycles float64, what string, done func()) Time {
 	return c.Do(c.CycleTime(cycles), what, done)
 }

@@ -94,6 +94,8 @@ func (c *CQ) MaxLen() int { return c.maxLen }
 // the completion is lost, counted, and a pending synthetic
 // StatusCQOverflow completion is armed so the application observes the
 // loss when it next drains the queue.
+//
+//qpip:hotpath
 func (c *CQ) Push(comp Completion) {
 	if c.Len() >= c.depth {
 		c.overflow++
@@ -120,6 +122,8 @@ func (c *CQ) Push(comp Completion) {
 
 // Poll attempts to reap one completion, charging the host CPU for the
 // attempt. It is the QPIP analog of a non-blocking select() (paper §3).
+//
+//qpip:hotpath
 func (c *CQ) Poll(p *sim.Proc) (Completion, bool) {
 	c.polls++
 	if c.Len() == 0 {
@@ -149,6 +153,8 @@ func (c *CQ) Poll(p *sim.Proc) (Completion, bool) {
 // completion surfaces only once the queue has drained. With the batched
 // boundary off it degrades to that loop (per-token charges). Returns the
 // number of completions written to out.
+//
+//qpip:hotpath
 func (c *CQ) PollN(p *sim.Proc, out []Completion) int {
 	if len(out) == 0 {
 		return 0

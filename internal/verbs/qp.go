@@ -91,6 +91,8 @@ func (q *QP) Err() error { return q.err }
 // PostSend posts a send work request and rings the doorbell. "The posting
 // method adds the WR to the appropriate queue and notifies the adapter of
 // a pending operation" (paper §2.1).
+//
+//qpip:hotpath
 func (q *QP) PostSend(p *sim.Proc, wr SendWR) error {
 	if q.state != QPEstablished && !(q.Transport == Unreliable && q.state != QPError && q.state != QPClosed) {
 		if q.state == QPError {
@@ -102,6 +104,7 @@ func (q *QP) PostSend(p *sim.Proc, wr SendWR) error {
 		return ErrQueueFull
 	}
 	if wr.Payload.Len() > q.dev.MaxMessage() {
+		//lint:qpip-allow hotalloc rejected-WR error path, cold by construction
 		return fmt.Errorf("%w: %d > %d", ErrTooBig, wr.Payload.Len(), q.dev.MaxMessage())
 	}
 	// Build the WR in the host-resident queue, then one uncached doorbell
@@ -122,6 +125,8 @@ func (q *QP) PostSend(p *sim.Proc, wr SendWR) error {
 // that fits is posted and the error reported, with nothing charged when
 // the count is zero. With the batched boundary off it degrades to a loop
 // of single PostSends — per-WR charges and doorbells.
+//
+//qpip:hotpath
 func (q *QP) PostSendN(p *sim.Proc, wrs []SendWR) (int, error) {
 	if len(wrs) == 0 {
 		return 0, nil
@@ -148,6 +153,7 @@ func (q *QP) PostSendN(p *sim.Proc, wrs []SendWR) (int, error) {
 			break
 		}
 		if wr.Payload.Len() > q.dev.MaxMessage() {
+			//lint:qpip-allow hotalloc rejected-WR error path, cold by construction
 			err = fmt.Errorf("%w: %d > %d", ErrTooBig, wr.Payload.Len(), q.dev.MaxMessage())
 			break
 		}
@@ -170,6 +176,8 @@ func (q *QP) PostSendN(p *sim.Proc, wrs []SendWR) (int, error) {
 // PostRecv posts a receive work request identifying buffer capacity for
 // one incoming message. Posting receive space grows the connection's TCP
 // receive window (paper §5.1).
+//
+//qpip:hotpath
 func (q *QP) PostRecv(p *sim.Proc, wr RecvWR) error {
 	if q.state == QPError {
 		return q.err
@@ -181,6 +189,7 @@ func (q *QP) PostRecv(p *sim.Proc, wr RecvWR) error {
 		return ErrQueueFull
 	}
 	if wr.Capacity <= 0 {
+		//lint:qpip-allow hotalloc rejected-WR error path, cold by construction
 		return fmt.Errorf("verbs: receive WR needs positive capacity")
 	}
 	p.Use(q.dev.HostCPU().Server, params.US(params.VerbsPostRecvUS))
@@ -195,6 +204,8 @@ func (q *QP) PostRecv(p *sim.Proc, wr RecvWR) error {
 // PostRecvN posts up to len(wrs) receive work requests with one batched
 // CPU charge and a single notification write. Partial-post and fallback
 // semantics mirror PostSendN.
+//
+//qpip:hotpath
 func (q *QP) PostRecvN(p *sim.Proc, wrs []RecvWR) (int, error) {
 	if len(wrs) == 0 {
 		return 0, nil
@@ -221,6 +232,7 @@ func (q *QP) PostRecvN(p *sim.Proc, wrs []RecvWR) (int, error) {
 			break
 		}
 		if wr.Capacity <= 0 {
+			//lint:qpip-allow hotalloc rejected-WR error path, cold by construction
 			err = fmt.Errorf("verbs: receive WR needs positive capacity")
 			break
 		}
@@ -303,6 +315,8 @@ func (q *QP) Close() {
 
 // TakeSendWR consumes the oldest posted send WR (the firmware's Get WR
 // stage has been charged by the caller).
+//
+//qpip:hotpath
 func (q *QP) TakeSendWR() (SendWR, bool) {
 	if q.sendHead >= len(q.sendQ) {
 		return SendWR{}, false
@@ -317,6 +331,8 @@ func (q *QP) TakeSendWR() (SendWR, bool) {
 }
 
 // TakeRecvWR consumes the oldest posted receive WR.
+//
+//qpip:hotpath
 func (q *QP) TakeRecvWR() (RecvWR, bool) {
 	if q.recvHead >= len(q.recvQ) {
 		return RecvWR{}, false
@@ -339,12 +355,16 @@ func (q *QP) PendingSendWRs() int { return len(q.sendQ) - q.sendHead }
 func (q *QP) PostedRecvBytes() int { return q.postedRecv }
 
 // CompleteSend posts a send completion (adapter context).
+//
+//qpip:hotpath
 func (q *QP) CompleteSend(wrID uint64, status Status, n int) {
 	q.outSend--
 	q.SendCQ.Push(Completion{QPN: q.QPN, WRID: wrID, Op: OpSend, Status: status, ByteLen: n})
 }
 
 // CompleteRecv posts a receive completion (adapter context).
+//
+//qpip:hotpath
 func (q *QP) CompleteRecv(comp Completion) {
 	q.outRecv--
 	comp.QPN = q.QPN

@@ -51,6 +51,10 @@ type Packet struct {
 // Len reports the packet's total network-layer length.
 func (p *Packet) Len() int { return len(p.IPHdr) + len(p.L4Hdr) + p.Payload.Len() }
 
+// Packet identity never reaches event order: Get re-initializes every field
+// and refcounts police reuse, so pooling is invisible to the simulation.
+//
+//lint:qpip-allow nogoroutine free list only; no synchronization semantics leak into the model
 var pktPool = sync.Pool{New: func() any { return new(Packet) }}
 
 // Get returns an empty packet with one reference. Marshal headers into

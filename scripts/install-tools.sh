@@ -1,0 +1,33 @@
+#!/bin/sh
+# Install the optional static-analysis tooling `make check` runs when
+# present (staticcheck, the shadow vet pass, govulncheck), and build the
+# repo's own qpiplint into bin/. The gate degrades gracefully without the
+# optional tools — qpiplint is the only mandatory analyzer and builds from
+# this tree with no network access.
+#
+# Usage: scripts/install-tools.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> building bin/qpiplint (mandatory, no network needed)"
+go build -o bin/qpiplint ./cmd/qpiplint
+
+install_tool() {
+	name=$1
+	pkg=$2
+	if command -v "$name" >/dev/null 2>&1; then
+		echo "==> $name already installed"
+		return
+	fi
+	echo "==> installing $name ($pkg)"
+	if ! go install "$pkg"; then
+		echo "    $name install failed (offline?); make check will skip it" >&2
+	fi
+}
+
+install_tool staticcheck honnef.co/go/tools/cmd/staticcheck@latest
+install_tool shadow golang.org/x/tools/go/analysis/passes/shadow/cmd/shadow@latest
+install_tool govulncheck golang.org/x/vuln/cmd/govulncheck@latest
+
+echo "==> done; 'make check' will use everything it found on PATH"
