@@ -71,7 +71,7 @@ fuzz:
 # seed corpora), a one-shot perf smoke so a broken harness fails the gate,
 # not the bench run, and the perf guard (the batched boundary must be no
 # slower in wall clock than the per-token datapath).
-check: vet shadow lint staticcheck govulncheck race test
+check: vet shadow lint staticcheck govulncheck race test chaos
 	$(GO) run ./cmd/qpipbench -exp perf -bytes 1048576 -perf-repeats 1 >/dev/null
 	$(GO) run ./cmd/qpipbench -exp perfguard -bytes 4194304
 
@@ -87,5 +87,13 @@ bench: microbench
 microbench:
 	$(GO) test -bench=. -benchmem ./internal/sim/ ./internal/tcp/ ./internal/fabric/
 
+# The fixed-seed failure matrix: link-level chaos (drops, corruption,
+# duplication, flaps) through the frame-chaos experiment, then the
+# node-level crash/flap/partition matrix — adapter crash/restart, both
+# ends crashing, sustained flaps, asymmetric partitions — each verified
+# bytes-exactly-once and trace-identical across reruns, and the recovery
+# sweep end to end (exits nonzero if any point is not byte-exact).
 chaos:
+	$(GO) test -run 'TestRecoveryChaos|TestRecoveryFaultFree' -count=1 ./internal/nbd/
 	$(GO) run ./cmd/qpipbench -exp chaos
+	$(GO) run ./cmd/qpipbench -exp recovery -bytes 1048576 >/dev/null

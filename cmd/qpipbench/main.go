@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	qpipbench [-exp all|fig3|fig4|table1|table2|table3|fig7|chaos|ablations|irq|perf|perfguard]
+//	qpipbench [-exp all|fig3|fig4|table1|table2|table3|fig7|chaos|recovery|ablations|irq|perf|perfguard]
 //	          [-bytes N] [-nbd-bytes N] [-iters N] [-full]
 //	          [-parallel N] [-cpuprofile FILE] [-memprofile FILE]
 //	          [-json FILE] [-seed-json FILE] [-perf-repeats N]
@@ -32,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig3, fig4, table1, table2, table3, fig7, chaos, ablations, irq, perf, perfguard")
+	exp := flag.String("exp", "all", "experiment: all, fig3, fig4, table1, table2, table3, fig7, chaos, recovery, ablations, irq, perf, perfguard")
 	bytes := flag.Int("bytes", 4<<20, "ttcp transfer size in bytes")
 	nbdBytes := flag.Int("nbd-bytes", 64<<20, "NBD benchmark size in bytes")
 	iters := flag.Int("iters", 50, "ping-pong iterations for latency experiments")
@@ -97,6 +97,30 @@ func main() {
 	run("table3", mark(func() { fmt.Print(bench.RenderTable3(bench.Table3(*iters))) }))
 	run("fig7", mark(func() { fmt.Print(bench.RenderFigure7(bench.Figure7(*nbdBytes))) }))
 	run("chaos", mark(func() { fmt.Print(bench.RenderChaos(bench.Chaos(*bytes))) }))
+	run("recovery", mark(func() {
+		rows := bench.Recovery(*bytes)
+		fmt.Print(bench.RenderRecovery(rows))
+		js, err := bench.RecoveryJSON(rows)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "recovery json: %v\n", err)
+			os.Exit(1)
+		}
+		if *jsonPath != "" && *exp == "recovery" {
+			if err := os.WriteFile(*jsonPath, []byte(js), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		} else {
+			fmt.Print(js)
+		}
+		for _, r := range rows {
+			if !r.Verified || r.Failed {
+				fmt.Fprintf(os.Stderr, "recovery: %s/%s point not byte-exact\n", r.Scenario, r.Backoff)
+				os.Exit(1)
+			}
+		}
+	}))
 	run("irq", mark(func() { fmt.Print(bench.RenderIRQ(bench.IRQAblation(*bytes, *iters))) }))
 	run("ablations", mark(func() {
 		fmt.Print(bench.RenderAblation(bench.AblationChecksum(*bytes)))

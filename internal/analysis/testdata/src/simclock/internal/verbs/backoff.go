@@ -1,0 +1,40 @@
+// Package verbs stands in for the QP state machine: its import path ends
+// in internal/verbs, so simclock holds it to the simulated-clock rules.
+// The fixture pins the reconnect-backoff jitter contract: jitter must be
+// a pure function of seed and attempt ordinal (the splitmix64 pattern the
+// real BackoffPolicy.Delay uses), never the wall clock or math/rand.
+package verbs
+
+import (
+	"math/rand" // want `import of "math/rand" in simulated package`
+	"time"
+)
+
+// base exercises pure duration arithmetic: legal, reads no clock.
+const base = time.Millisecond
+
+// jitterHash is the seeded, replayable way: a splitmix64 finalizer over
+// seed and attempt. Pure arithmetic — no findings.
+func jitterHash(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// goodDelay derives backoff jitter deterministically; two runs of a seed
+// reconnect at identical instants.
+func goodDelay(seed uint64, attempt int) time.Duration {
+	d := base << attempt
+	h := jitterHash(seed ^ uint64(attempt)*0x9e3779b97f4a7c15)
+	frac := float64(h>>11) / float64(1<<53)
+	return time.Duration(float64(d) * (0.75 + 0.5*frac))
+}
+
+// badDelay seeds jitter from the wall clock and math/rand: both are
+// forbidden in simulated packages — neither replays.
+func badDelay(attempt int) time.Duration {
+	_ = time.Now()   // want `time.Now in simulated package`
+	time.Sleep(base) // want `time.Sleep in simulated package`
+	return base<<attempt + time.Duration(rand.Intn(1000))
+}

@@ -77,6 +77,15 @@ type Plan struct {
 
 	// Flaps are scheduled link-down windows.
 	Flaps []Flap
+
+	// Partitions are scheduled one-directional connectivity holes
+	// (crash.go); asymmetric by construction, unlike Flaps.
+	Partitions []Partition
+
+	// Crashes are scheduled adapter reboots, applied with
+	// Injector.ScheduleCrashes (crash.go). They are time-driven, not
+	// frame-driven, so they do not consume frame ordinals.
+	Crashes []Crash
 }
 
 // Decision is the fault outcome for one frame. The zero value passes the
@@ -107,6 +116,7 @@ func (e Event) String() string {
 // Stats counts applied faults by kind.
 type Stats struct {
 	Drops, FlapDrops, Corrupts, Dups, Delays uint64
+	PartitionDrops, Crashes                  uint64
 }
 
 // Injector applies a Plan to frames. It is attached to a fabric with
@@ -206,6 +216,12 @@ func (in *Injector) Decide(n uint64, now sim.Time, src, dst int, corruptible int
 		note("flap", 0)
 		return d
 	}
+	if p.partitioned(now, src, dst) {
+		d.Drop, d.Flapped = true, true
+		in.stats.PartitionDrops++
+		note("partition", 0)
+		return d
+	}
 	if p.DropEvery > 0 && (n+1)%p.DropEvery == 0 {
 		d.Drop = true
 		in.stats.Drops++
@@ -295,6 +311,7 @@ func corruptPacket(pkt *wire.Packet, bits []int) *wire.Packet {
 		IPHdr:   append([]byte(nil), pkt.IPHdr...),
 		L4Hdr:   append([]byte(nil), pkt.L4Hdr...),
 		Payload: pkt.Payload,
+		Epoch:   pkt.Epoch,
 	}
 	var pay []byte
 	ipLen, l4Len := len(clone.IPHdr), len(clone.L4Hdr)

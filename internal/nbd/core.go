@@ -26,6 +26,13 @@ type op struct {
 	errno  uint32
 	data   buf.Buf
 	waiter *sim.Proc
+	// wdata retains a write's payload so a recovering transport can
+	// replay the request idempotently after reconnect (DESIGN §13).
+	wdata buf.Buf
+	// sess is the transport session the request was last sent on; a
+	// recovering transport resends ops whose sess predates the current
+	// session.
+	sess uint64
 }
 
 // core implements storage.BlockDev semantics over any transport: request
@@ -45,6 +52,9 @@ type core struct {
 	lastReadEnd   int64
 	reads, writes uint64
 	readaheads    uint64
+	// completes counts matched replies; a recovery watchdog reads it as
+	// the liveness signal (no growth + nonempty inflight = dead session).
+	completes uint64
 
 	outWrites   int
 	writeWaiter *sim.Proc
@@ -168,7 +178,7 @@ func (c *core) Write(p *sim.Proc, off int64, b buf.Buf) error {
 		}
 	}
 	c.nextHandle++
-	o := &op{handle: c.nextHandle, offset: off, length: b.Len()}
+	o := &op{handle: c.nextHandle, offset: off, length: b.Len(), wdata: b}
 	c.inflight[o.handle] = o
 	c.outWrites++
 	c.writes++
@@ -192,6 +202,7 @@ func (c *core) complete(handle uint64, errno uint32, data buf.Buf) {
 	if o == nil {
 		return // stale reply
 	}
+	c.completes++
 	delete(c.inflight, handle)
 	o.done = true
 	o.errno = errno

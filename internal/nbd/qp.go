@@ -33,11 +33,13 @@ type qpEndpoint struct {
 	recvCQ  *verbs.CQ
 	maxMsg  int
 	credits int
+	depth   int
 	nextID  uint64
 }
 
 func newEndpoint(qp *verbs.QP, sendCQ, recvCQ *verbs.CQ, maxMsg, sendDepth int) *qpEndpoint {
-	return &qpEndpoint{qp: qp, sendCQ: sendCQ, recvCQ: recvCQ, maxMsg: maxMsg, credits: sendDepth}
+	return &qpEndpoint{qp: qp, sendCQ: sendCQ, recvCQ: recvCQ, maxMsg: maxMsg,
+		credits: sendDepth, depth: sendDepth}
 }
 
 // reapSends drains available send completions without blocking.
@@ -90,11 +92,36 @@ func (e *qpEndpoint) repostRecv(p *sim.Proc, id uint64) error {
 	return e.qp.PostRecv(p, verbs.RecvWR{ID: id, Capacity: e.maxMsg})
 }
 
+// fillRecvs posts the receive buffers for one session: enough for qd+1
+// full read replies (header plus data chunks each).
+func (e *qpEndpoint) fillRecvs(p *sim.Proc, qd int) error {
+	nBufs := (qd + 1) * (1 + qpChunks(params.NBDRequestBytes, e.maxMsg))
+	for i := 0; i < nBufs; i++ {
+		if err := e.repostRecv(p, uint64(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // QPClient is the QPIP NBD client driver.
 type QPClient struct {
 	*core
 	ep *qpEndpoint
+	// rec, when set, enables session-level recovery (recovery.go): on
+	// connection failure the reader reconnects the QP and replays
+	// in-flight requests instead of poisoning the device.
+	rec      *RecoverySpec
+	sess     uint64
+	replays  uint64
+	wdWaiter *sim.Proc // watchdog parked while nothing is in flight
 }
+
+// Replays reports how many in-flight requests session recovery resent.
+func (c *QPClient) Replays() uint64 { return c.replays }
+
+// Sessions reports the number of transport sessions used (1 = fault-free).
+func (c *QPClient) Sessions() uint64 { return c.sess }
 
 // NewQPClient wires a driver to an established reliable QP. sendCQ and
 // recvCQ must be the CQs the QP was created with. The reader process is
@@ -104,14 +131,36 @@ func NewQPClient(eng *sim.Engine, cpu *sim.CPU, qp *verbs.QP, sendCQ, recvCQ *ve
 	c := &QPClient{
 		core: newCore(cpu, size, qd),
 		ep:   newEndpoint(qp, sendCQ, recvCQ, maxMsg, 128),
+		sess: 1,
 	}
 	c.core.t = c
-	eng.Spawn("nbd.qp.reader", func(p *sim.Proc) { c.readerLoop(p) })
+	eng.Spawn("nbd.qp.reader", func(p *sim.Proc) { c.run(p) })
 	return c
 }
 
-// sendRequest implements transport.
+// sendRequest implements transport. With recovery enabled, transport
+// errors are swallowed: the op is already recorded in the in-flight map
+// with a stale session number, so the reader's replay after reconnect
+// delivers it (the error here proves the session broke, which the reader
+// observes independently through its flushed completions).
 func (c *QPClient) sendRequest(p *sim.Proc, req Request, data buf.Buf) error {
+	if o := c.inflight[req.Handle]; o != nil {
+		o.sess = c.sess
+	}
+	if c.wdWaiter != nil {
+		w := c.wdWaiter
+		c.wdWaiter = nil
+		w.Wake()
+	}
+	err := c.sendAll(p, req, data)
+	if err != nil && c.rec != nil {
+		return nil
+	}
+	return err
+}
+
+// sendAll posts the request header and any write payload chunks.
+func (c *QPClient) sendAll(p *sim.Proc, req Request, data buf.Buf) error {
 	if err := c.ep.sendMsg(p, buf.Bytes(MarshalRequest(&req))); err != nil {
 		return err
 	}
@@ -121,31 +170,42 @@ func (c *QPClient) sendRequest(p *sim.Proc, req Request, data buf.Buf) error {
 	return nil
 }
 
-// readerLoop reassembles in-order reply messages: a header message,
-// followed (for successful reads) by the data chunks.
-func (c *QPClient) readerLoop(p *sim.Proc) {
-	// Keep enough receive buffers posted for qd full read replies.
-	nBufs := (c.qd + 1) * (1 + qpChunks(params.NBDRequestBytes, c.ep.maxMsg))
-	for i := 0; i < nBufs; i++ {
-		if err := c.ep.repostRecv(p, uint64(i)); err != nil {
+// run is the reader process: one session in the fault-free case, a
+// session/reestablish loop under recovery.
+func (c *QPClient) run(p *sim.Proc) {
+	if err := c.ep.fillRecvs(p, c.qd); err != nil {
+		c.fail(err)
+		return
+	}
+	for {
+		err := c.session(p)
+		if c.rec == nil {
+			c.fail(err)
+			return
+		}
+		if err := c.recover(p); err != nil {
 			c.fail(err)
 			return
 		}
 	}
+}
+
+// session reassembles in-order reply messages — a header message,
+// followed (for successful reads) by the data chunks — until the
+// connection breaks.
+func (c *QPClient) session(p *sim.Proc) error {
 	for {
 		comp := c.ep.recvCQ.Wait(p)
 		if comp.Status != verbs.StatusSuccess {
-			c.fail(fmt.Errorf("nbd: recv completion %v", comp.Status))
-			return
+			//lint:qpip-allow hotalloc session-terminal error path
+			return fmt.Errorf("nbd: recv completion %v", comp.Status)
 		}
 		rep, err := ParseReply(comp.Payload)
 		if err != nil {
-			c.fail(err)
-			return
+			return err
 		}
 		if err := c.ep.repostRecv(p, comp.WRID); err != nil {
-			c.fail(err)
-			return
+			return err
 		}
 		var data buf.Buf
 		if o := c.inflight[rep.Handle]; o != nil && o.isRead && rep.Error == 0 {
@@ -154,13 +214,12 @@ func (c *QPClient) readerLoop(p *sim.Proc) {
 			for i := 0; i < need; i++ {
 				dc := c.ep.recvCQ.Wait(p)
 				if dc.Status != verbs.StatusSuccess {
-					c.fail(fmt.Errorf("nbd: data completion %v", dc.Status))
-					return
+					//lint:qpip-allow hotalloc session-terminal error path
+					return fmt.Errorf("nbd: data completion %v", dc.Status)
 				}
 				parts = append(parts, dc.Payload)
 				if err := c.ep.repostRecv(p, dc.WRID); err != nil {
-					c.fail(err)
-					return
+					return err
 				}
 			}
 			data = buf.Concat(parts...)
@@ -175,15 +234,18 @@ func (c *QPClient) readerLoop(p *sim.Proc) {
 func ServeQP(p *sim.Proc, cpu *sim.CPU, qp *verbs.QP, sendCQ, recvCQ *verbs.CQ,
 	maxMsg int, disk *storage.Disk) {
 	ep := newEndpoint(qp, sendCQ, recvCQ, maxMsg, 128)
-	dev := &storage.LocalDev{D: disk}
-	nBufs := (params.NBDQueueDepth + 1) * (1 + qpChunks(params.NBDRequestBytes, maxMsg))
-	for i := 0; i < nBufs; i++ {
-		if err := ep.repostRecv(p, uint64(i)); err != nil {
-			return
-		}
+	if ep.fillRecvs(p, params.NBDQueueDepth) != nil {
+		return
 	}
+	serveQPSession(p, cpu, ep, &storage.LocalDev{D: disk})
+}
+
+// serveQPSession serves requests on an established QP until the peer
+// disconnects. It reports true on a clean CmdDisc, false when the
+// connection broke — the resilient server recycles on false.
+func serveQPSession(p *sim.Proc, cpu *sim.CPU, ep *qpEndpoint, dev *storage.LocalDev) bool {
 	recvMsg := func() (buf.Buf, bool) {
-		comp := recvCQ.Wait(p)
+		comp := ep.recvCQ.Wait(p)
 		if comp.Status != verbs.StatusSuccess {
 			return buf.Empty, false
 		}
@@ -195,42 +257,42 @@ func ServeQP(p *sim.Proc, cpu *sim.CPU, qp *verbs.QP, sendCQ, recvCQ *verbs.CQ,
 	for {
 		hdr, ok := recvMsg()
 		if !ok {
-			return
+			return false
 		}
 		req, err := ParseRequest(hdr)
 		if err != nil {
-			return
+			return false
 		}
 		p.Use(cpu.Server, params.US(ServerPerReqUS))
 		switch req.Type {
 		case CmdRead:
 			data, _ := dev.Read(p, int64(req.Offset), int(req.Length))
 			if ep.sendMsg(p, buf.Bytes(MarshalReply(&Reply{Handle: req.Handle}))) != nil {
-				return
+				return false
 			}
 			if ep.sendChunked(p, data) != nil {
-				return
+				return false
 			}
 		case CmdWrite:
 			var parts []buf.Buf
-			for i := 0; i < qpChunks(int(req.Length), maxMsg); i++ {
+			for i := 0; i < qpChunks(int(req.Length), ep.maxMsg); i++ {
 				chunk, ok := recvMsg()
 				if !ok {
-					return
+					return false
 				}
 				parts = append(parts, chunk)
 			}
 			if dev.Write(p, int64(req.Offset), buf.Concat(parts...)) != nil {
-				return
+				return false
 			}
 			if ep.sendMsg(p, buf.Bytes(MarshalReply(&Reply{Handle: req.Handle}))) != nil {
-				return
+				return false
 			}
 		case CmdDisc:
-			return
+			return true
 		default:
 			if ep.sendMsg(p, buf.Bytes(MarshalReply(&Reply{Handle: req.Handle, Error: 22}))) != nil {
-				return
+				return false
 			}
 		}
 	}

@@ -173,6 +173,9 @@ const (
 	VerbsPostRecvUS = 0.8
 	// VerbsPollUS is one successful CQ poll (cache-resident spin).
 	VerbsPollUS = 0.8
+	// VerbsModifyQPUS is one host-driven lifecycle transition (ModifyQP):
+	// a state-table update in host memory, comparable to building a WR.
+	VerbsModifyQPUS = 1.0
 	// VerbsPollEmptyUS is an unsuccessful poll — pure cached read.
 	VerbsPollEmptyUS = 0.05
 	// VerbsWakeupUS is the prototype's "lightweight interrupt service

@@ -77,6 +77,7 @@ type chainRun struct {
 	pkt         *wire.Packet
 	ip6         inet.Header6
 	seg         tcp.Segment
+	epoch       uint32 // sender boot generation (rx chains)
 	att         int
 	bytes       int
 	wrID        uint64
@@ -294,7 +295,12 @@ func (cr *chainRun) run() {
 			return
 		case stStashTally:
 			if cr.qs.stashLen() > 0 {
+				// Receiver not ready: records wait in SRAM until the host
+				// posts receive WRs (the QPIP analog of an RNR NAK — the
+				// closed TCP window is the backoff).
 				cr.n.stats.StashedRecords++
+				cr.qs.rnr++
+				cr.n.Net.Add("rx.rnr", 1)
 			}
 			continue
 		case stPlaceDone:
@@ -394,12 +400,45 @@ func (cr *chainRun) rxTCPBody() {
 		// application" (paper §3).
 		if seg.Flags.Has(tcp.SYN) && !seg.Flags.Has(tcp.ACK) {
 			ip6 := cr.ip6
-			n.acceptSYN(&seg, &ip6)
+			n.acceptSYN(&seg, &ip6, cr.epoch)
+			return
+		}
+		if !seg.Flags.Has(tcp.RST) {
+			// No TCB for an established-looking segment: the peer is
+			// talking to a connection this adapter no longer knows (we
+			// rebooted, or the QP was recycled). Refuse with an RST so the
+			// peer fails fast instead of burning its retransmit budget.
+			ip6 := cr.ip6
+			n.Net.Add("rx.unknown-rst", 1)
+			n.sendRST(&seg, ip6.Src)
 			return
 		}
 		n.stats.NoPortDrops++
 		n.Net.Add("rx.drop.no-port", 1)
 		return
+	}
+	// Epoch fence (DESIGN §13): the connection is pinned to the sender
+	// boot generation it was established under. Older frames are
+	// pre-crash stragglers; a newer epoch proves the peer rebooted, so
+	// the fenced TCB is dead.
+	if cr.epoch != 0 {
+		if qs.peerEpoch == 0 {
+			qs.peerEpoch = cr.epoch
+		} else if cr.epoch < qs.peerEpoch {
+			qs.staleEpoch++
+			n.Net.Add("rx.stale-epoch", 1)
+			return
+		} else if cr.epoch > qs.peerEpoch {
+			n.Net.Add("rx.peer-reboot", 1)
+			n.failQP(qs, verbs.ErrPeerRestarted, verbs.StatusRemoteError)
+			if seg.Flags.Has(tcp.SYN) && !seg.Flags.Has(tcp.ACK) {
+				// The rebooted peer is opening a fresh connection that
+				// happens to reuse the old 4-tuple: mate it anew.
+				ip6 := cr.ip6
+				n.acceptSYN(&seg, &ip6, cr.epoch)
+			}
+			return
+		}
 	}
 	now := int64(n.eng.Now())
 	acts := qs.conn.Input(&seg, now)

@@ -130,6 +130,18 @@ type qpState struct {
 	stashHead  int
 	timer      *sim.Event
 	peerClosed bool
+	// peerEpoch is the sender boot generation this connection is fenced
+	// to: adopted from the first frame, stale frames dropped, a newer
+	// epoch fails the QP (the peer rebooted; see DESIGN §13).
+	peerEpoch uint32
+	// rnr counts receiver-not-ready events on this connection: in-order
+	// records that arrived with no posted receive WR and had to wait in
+	// adapter SRAM (the QPIP analog of an Infiniband RNR NAK; the TCP
+	// window closes instead of NAKing).
+	rnr uint64
+	// staleEpoch counts frames fenced off this connection as pre-crash
+	// stragglers.
+	staleEpoch uint64
 
 	// Pre-bound callbacks (set at QP creation) so the hot doorbell,
 	// receive-posted, and timer paths never allocate a closure.
@@ -206,6 +218,14 @@ type NIC struct {
 	nextEphem uint16
 	issCount  uint32
 
+	// down marks a crashed adapter: frames are dropped on the floor and
+	// management verbs refuse with verbs.ErrNICDown until Restart.
+	down bool
+	// bootEpoch is the adapter's boot generation, stamped on every
+	// outgoing frame; it starts at 1 and increments on Restart so
+	// receivers can fence pre-crash stragglers (crash.go).
+	bootEpoch uint32
+
 	// Transmit FSM scheduler. txQ drains through txQHead (see kickTx);
 	// txDoneFn is the one per-adapter work-completion callback.
 	txQ      []txWork
@@ -245,6 +265,7 @@ func New(eng *sim.Engine, fab *fabric.Fabric, cfg Config) *NIC {
 		udpPorts:  udp.NewPortSpace[*qpState](),
 		tcpPorts:  make(map[uint16]bool),
 		nextEphem: 49152,
+		bootEpoch: 1,
 		TxData:    trace.NewStages(),
 		TxAck:     trace.NewStages(),
 		RxData:    trace.NewStages(),
@@ -274,9 +295,25 @@ func (n *NIC) CPU() *sim.CPU { return n.cpu }
 // Stats returns adapter counters.
 func (n *NIC) Stats() Stats { return n.stats }
 
-// DebugConnStats exposes per-connection TCP stats for diagnostics, in
-// connection-key order so diffing two runs' diagnostics is meaningful.
-func (n *NIC) DebugConnStats() []tcp.Stats {
+// ConnStats is one connection's diagnostic record: its identity, the TCB
+// counters, and the adapter-side error counters that do not live in the
+// TCB (RNR stalls, epoch fencing).
+type ConnStats struct {
+	LocalPort  uint16
+	RemoteAddr inet.Addr6
+	RemotePort uint16
+	TCP        tcp.Stats
+	// RNR counts receiver-not-ready stalls (records parked in SRAM for
+	// want of a posted receive WR).
+	RNR uint64
+	// StaleEpoch counts pre-crash straggler frames fenced off this
+	// connection.
+	StaleEpoch uint64
+}
+
+// sortedConns returns the live connections in connection-key order so
+// diffing two runs' diagnostics is meaningful.
+func (n *NIC) sortedConns() []tcpKey {
 	keys := make([]tcpKey, 0, len(n.tcpConns))
 	for k := range n.tcpConns {
 		keys = append(keys, k)
@@ -291,11 +328,43 @@ func (n *NIC) DebugConnStats() []tcp.Stats {
 		}
 		return a.remotePort < b.remotePort
 	})
-	out := make([]tcp.Stats, 0, len(keys))
+	return keys
+}
+
+// DebugConnStats exposes per-connection diagnostics with stable sorted
+// emission (connection-key order).
+func (n *NIC) DebugConnStats() []ConnStats {
+	keys := n.sortedConns()
+	out := make([]ConnStats, 0, len(keys))
 	for _, k := range keys {
-		out = append(out, n.tcpConns[k].conn.Stats())
+		qs := n.tcpConns[k]
+		out = append(out, ConnStats{
+			LocalPort:  k.localPort,
+			RemoteAddr: k.remoteAddr,
+			RemotePort: k.remotePort,
+			TCP:        qs.conn.Stats(),
+			RNR:        qs.rnr,
+			StaleEpoch: qs.staleEpoch,
+		})
 	}
 	return out
+}
+
+// AddConnCounters folds the adapter's fault-visible counters plus the
+// per-connection retry/RNR/fence tallies into dst under stable names, in
+// sorted connection order, so summing a cluster of adapters into one
+// recovery report is deterministic (trace.Counters.AddAll composes these
+// across nodes).
+func (n *NIC) AddConnCounters(dst *trace.Counters) {
+	dst.AddAll(n.Net)
+	for _, k := range n.sortedConns() {
+		qs := n.tcpConns[k]
+		st := qs.conn.Stats()
+		dst.Add("conn.retransmits", st.Retransmits)
+		dst.Add("conn.timeouts", st.Timeouts)
+		dst.Add("conn.rnr", qs.rnr)
+		dst.Add("conn.stale-epoch", qs.staleEpoch)
+	}
 }
 
 // ResetStages clears occupancy instrumentation (benchmark warmup).
@@ -326,10 +395,9 @@ func (n *NIC) maxQPs() int {
 	return params.QPIPMaxQPs
 }
 
-// CreateQP implements verbs.Device. The state table lives in finite
-// adapter SRAM; exhaustion refuses the QP instead of overcommitting.
-func (n *NIC) CreateQP(qp *verbs.QP) error {
-	n.mgmtCost()
+// admitQP allocates a fresh state-table entry for qp, refusing on SRAM
+// exhaustion (shared by CreateQP and post-crash ResetQP re-admission).
+func (n *NIC) admitQP(qp *verbs.QP) error {
 	if len(n.qps) >= n.maxQPs() {
 		n.Net.Add("mgmt.qp-refused", 1)
 		return verbs.ErrNoResources
@@ -346,6 +414,69 @@ func (n *NIC) CreateQP(qp *verbs.QP) error {
 		n.drainStashAndUpdate(qs)
 	}
 	n.qps[qp.QPN] = qs
+	return nil
+}
+
+// CreateQP implements verbs.Device. The state table lives in finite
+// adapter SRAM; exhaustion refuses the QP instead of overcommitting.
+func (n *NIC) CreateQP(qp *verbs.QP) error {
+	if n.down {
+		return verbs.ErrNICDown
+	}
+	n.mgmtCost()
+	return n.admitQP(qp)
+}
+
+// ResetQP implements verbs.Device: return a QP to the reset state on the
+// adapter. A live TCB is aborted (the peer gets an RST), the entry's WR
+// and stash bookkeeping is wiped, and consumed-but-unacked send WRs
+// complete with StatusFlushed — first in the deterministic flush order
+// (the host's ModifyQP flushes the posted queues right after). If the
+// adapter crashed since the QP was created, the state-table entry is gone
+// and the QP is re-admitted subject to capacity.
+func (n *NIC) ResetQP(qp *verbs.QP) error {
+	if n.down {
+		return verbs.ErrNICDown
+	}
+	n.mgmtCost()
+	qs := n.qps[qp.QPN]
+	if qs == nil {
+		// Crash wiped the state table: re-admission path.
+		return n.admitQP(qp)
+	}
+	if qs.conn != nil {
+		delete(n.tcpConns, tcpKey{qs.localPort, qs.remoteAddr, qs.remotePort})
+		acts := qs.conn.Abort(int64(n.eng.Now()))
+		if len(acts.Segments) > 0 {
+			// The RST needs routing state that outlives the reset; hand it
+			// a transient endpoint record like sendRST does.
+			tmp := &qpState{localPort: qs.localPort, remoteAddr: qs.remoteAddr,
+				remotePort: qs.remotePort, remoteAtt: qs.remoteAtt}
+			for _, seg := range acts.Segments {
+				n.enqueueTx(txWork{qs: tmp, seg: seg})
+			}
+		}
+		delete(n.tcpPorts, qs.localPort)
+		qs.conn = nil
+	} else if qs.localPort != 0 {
+		n.udpPorts.Unbind(qs.localPort)
+	}
+	if qs.timer != nil {
+		qs.timer.Cancel()
+		qs.timer = nil
+	}
+	ids := qs.sendIDs[qs.sendHead:]
+	for _, id := range ids {
+		qp.CompleteSend(id, verbs.StatusFlushed, 0)
+	}
+	qs.sendIDs, qs.sendHead = nil, 0
+	qs.stash, qs.stashHead = nil, 0
+	qs.pendingWRs = 0
+	qs.peerClosed = false
+	qs.peerEpoch = 0
+	qs.rnr, qs.staleEpoch = 0, 0
+	qs.localPort, qs.remotePort, qs.remoteAtt = 0, 0, 0
+	qs.remoteAddr = inet.Addr6{}
 	return nil
 }
 
@@ -376,6 +507,9 @@ func (n *NIC) BindUDP(qp *verbs.QP, port uint16) (uint16, error) {
 	qs := n.qps[qp.QPN]
 	if qs == nil {
 		return 0, errors.New("qpipnic: unknown QP")
+	}
+	if n.down {
+		return 0, verbs.ErrNICDown
 	}
 	n.mgmtCost()
 	got, err := n.udpPorts.Bind(port, qs)
@@ -431,6 +565,9 @@ func (n *NIC) Connect(qp *verbs.QP, raddr inet.Addr6, rport uint16) error {
 	if qs == nil {
 		return errors.New("qpipnic: unknown QP")
 	}
+	if n.down {
+		return verbs.ErrNICDown
+	}
 	att, err := n.cfg.Routes.Lookup(raddr)
 	if err != nil {
 		return fmt.Errorf("%w: %v", verbs.ErrNoRoute, raddr)
@@ -454,6 +591,9 @@ func (n *NIC) Connect(qp *verbs.QP, raddr inet.Addr6, rport uint16) error {
 // Listen implements verbs.Device: "The server application instructs the
 // interface to monitor a TCP port for incoming connections" (paper §3).
 func (n *NIC) Listen(port uint16) (*verbs.Listener, error) {
+	if n.down {
+		return nil, verbs.ErrNICDown
+	}
 	if n.listeners[port] != nil || n.tcpPorts[port] {
 		return nil, verbs.ErrPortBusy
 	}

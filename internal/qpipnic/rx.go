@@ -24,6 +24,11 @@ func (n *NIC) receiveFrame(f *fabric.Frame) {
 	if !ok {
 		return // not for this stack
 	}
+	if n.down {
+		// A crashed adapter is deaf: the frame dies at the media interface.
+		pkt.Release()
+		return
+	}
 	if pkt.IsV4 {
 		pkt.Release()
 		return // not for this stack
@@ -43,6 +48,7 @@ func (n *NIC) receiveFrame(f *fabric.Frame) {
 	cr.use(tpl)
 	cr.pkt = pkt
 	cr.ip6 = ip6
+	cr.epoch = pkt.Epoch
 	cr.bytes = len(pkt.L4Hdr) + pkt.Payload.Len()
 	cr.run()
 }
@@ -58,7 +64,9 @@ func (n *NIC) verifyTransport(ip6 *inet.Header6, pkt *wire.Packet) bool {
 }
 
 // acceptSYN mates an incoming connection to an idle QP on the listener.
-func (n *NIC) acceptSYN(seg *tcp.Segment, ip6 *inet.Header6) {
+// epoch is the client adapter's boot generation carried by the SYN; the
+// new connection is fenced to it.
+func (n *NIC) acceptSYN(seg *tcp.Segment, ip6 *inet.Header6, epoch uint32) {
 	l := n.listeners[seg.DstPort]
 	if l == nil {
 		// Nothing listens here: refuse explicitly with an RST so the
@@ -86,6 +94,7 @@ func (n *NIC) acceptSYN(seg *tcp.Segment, ip6 *inet.Header6) {
 	qs := n.qps[qp.QPN]
 	qs.localPort = seg.DstPort
 	qs.remoteAddr, qs.remotePort, qs.remoteAtt = ip6.Src, seg.SrcPort, att
+	qs.peerEpoch = epoch
 	qs.conn = tcp.NewConn(n.connConfig(seg.DstPort, seg.SrcPort))
 	// The firmware consumes every Actions before re-entering the TCB, so
 	// the action slices can live in per-conn reusable buffers.

@@ -66,6 +66,14 @@ func (n *NIC) kickTx() {
 //
 //qpip:hotpath
 func (n *NIC) onDoorbell() {
+	if n.down {
+		// A crashed adapter's FIFO logic is halted: rings land nowhere.
+		for {
+			if k := n.db.PopN(n.dbScratch[:]); k == 0 {
+				return
+			}
+		}
+	}
 	if !hw.BatchedBoundary() {
 		for {
 			tok, ok := n.db.Pop()
@@ -180,6 +188,7 @@ func (n *NIC) sendUDPMessage(qs *qpState, wr verbs.SendWR, done func()) {
 	}, pkt.IPScratch())
 	pkt.L4Hdr = l4
 	pkt.Payload = wr.Payload
+	pkt.Epoch = n.bootEpoch
 	cr := n.getChain(done)
 	cr.use(n.udpSend[:])
 	cr.qs = qs
@@ -217,6 +226,7 @@ func (n *NIC) sendSegment(qs *qpState, seg *tcp.Segment, done func()) {
 	}, pkt.IPScratch())
 	pkt.L4Hdr = l4
 	pkt.Payload = seg.Payload
+	pkt.Epoch = n.bootEpoch
 
 	cr := n.getChain(done)
 	if isData {

@@ -180,5 +180,12 @@ func (p *PortSpace[E]) Lookup(port uint16) (E, bool) {
 // Unbind releases a port.
 func (p *PortSpace[E]) Unbind(port uint16) { delete(p.bound, port) }
 
+// Reset releases every binding and restarts ephemeral allocation from the
+// power-on value (adapter crash/reboot).
+func (p *PortSpace[E]) Reset() {
+	p.bound = make(map[uint16]E)
+	p.ephemeral = 49152
+}
+
 // Len reports the number of bound ports.
 func (p *PortSpace[E]) Len() int { return len(p.bound) }

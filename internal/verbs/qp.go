@@ -35,6 +35,8 @@ type QP struct {
 	outRecv    int
 	postedRecv int // bytes of receive capacity not yet consumed
 	estWaiter  *sim.Proc
+	sqdWaiter  *sim.Proc // parked in WaitSQDrained
+	parked     *Listener // listener this QP is idling on, if any
 
 	// Connection identity, filled during connect/accept/bind.
 	LocalPort  uint16
@@ -94,9 +96,12 @@ func (q *QP) Err() error { return q.err }
 //
 //qpip:hotpath
 func (q *QP) PostSend(p *sim.Proc, wr SendWR) error {
-	if q.state != QPEstablished && !(q.Transport == Unreliable && q.state != QPError && q.state != QPClosed) {
+	if q.state != QPEstablished && !(q.Transport == Unreliable && q.state != QPError && q.state != QPClosed && q.state != QPSQD) {
 		if q.state == QPError {
 			return q.err
+		}
+		if q.state == QPSQD {
+			return ErrSQDraining
 		}
 		return ErrBadState
 	}
@@ -139,9 +144,12 @@ func (q *QP) PostSendN(p *sim.Proc, wrs []SendWR) (int, error) {
 		}
 		return len(wrs), nil
 	}
-	if q.state != QPEstablished && !(q.Transport == Unreliable && q.state != QPError && q.state != QPClosed) {
+	if q.state != QPEstablished && !(q.Transport == Unreliable && q.state != QPError && q.state != QPClosed && q.state != QPSQD) {
 		if q.state == QPError {
 			return 0, q.err
+		}
+		if q.state == QPSQD {
+			return 0, ErrSQDraining
 		}
 		return 0, ErrBadState
 	}
@@ -261,7 +269,9 @@ func (q *QP) Connect(p *sim.Proc, raddr inet.Addr6, rport uint16) error {
 	if q.Transport != Reliable {
 		return ErrNotSupported
 	}
-	if q.state != QPReset {
+	// The adapter's rendezvous performs the INIT→RTR→RTS transitions
+	// internally (paper §3), so Connect accepts RESET or INIT.
+	if q.state != QPReset && q.state != QPInit {
 		return ErrBadState
 	}
 	q.state = QPConnecting
@@ -307,8 +317,17 @@ func (q *QP) Close() {
 	if q.state == QPClosed {
 		return
 	}
+	q.unpark()
 	q.dev.DestroyQP(q)
 	q.state = QPClosed
+}
+
+// unpark removes the QP from any listener it idles on.
+func (q *QP) unpark() {
+	if q.parked != nil {
+		q.parked.unpark(q)
+		q.parked = nil
+	}
 }
 
 // ---- Adapter-side interface (used by Device implementations). ----
@@ -360,6 +379,9 @@ func (q *QP) PostedRecvBytes() int { return q.postedRecv }
 func (q *QP) CompleteSend(wrID uint64, status Status, n int) {
 	q.outSend--
 	q.SendCQ.Push(Completion{QPN: q.QPN, WRID: wrID, Op: OpSend, Status: status, ByteLen: n})
+	if q.sqdWaiter != nil && q.outSend == 0 {
+		q.wakeSQD()
+	}
 }
 
 // CompleteRecv posts a receive completion (adapter context).
@@ -389,16 +411,25 @@ func (q *QP) SetFailed(err error, status Status) {
 	if q.state == QPError || q.state == QPClosed {
 		return
 	}
+	q.unpark()
 	q.state = QPError
 	q.err = err
 	q.FlushWith(status)
 	q.wakeEst()
+	q.wakeSQD()
 }
 
 // Flush completes all posted-but-unconsumed WRs with StatusFlushed.
 func (q *QP) Flush() { q.FlushWith(StatusFlushed) }
 
 // FlushWith completes all posted-but-unconsumed WRs with status.
+//
+// Flush ordering is deterministic and part of the verbs contract (DESIGN
+// §13): consumed-but-unacked sends complete first (the device flushes
+// those before calling here), then posted-but-unconsumed sends, then
+// posted receives — each group in post order. The chaos tests pin this
+// ordering; two runs of the same seed must reap identical completion
+// sequences through Poll and PollN alike.
 func (q *QP) FlushWith(status Status) {
 	for _, wr := range q.sendQ[q.sendHead:] {
 		q.outSend--
@@ -411,6 +442,9 @@ func (q *QP) FlushWith(status Status) {
 	}
 	q.recvQ, q.recvHead = nil, 0
 	q.postedRecv = 0
+	if q.sqdWaiter != nil && q.outSend == 0 {
+		q.wakeSQD()
+	}
 }
 
 func (q *QP) wakeEst() {
@@ -420,3 +454,19 @@ func (q *QP) wakeEst() {
 		w.Wake()
 	}
 }
+
+func (q *QP) wakeSQD() {
+	if q.sqdWaiter != nil {
+		w := q.sqdWaiter
+		q.sqdWaiter = nil
+		w.Wake()
+	}
+}
+
+// OutstandingSend reports posted send WRs not yet completed — the
+// recovery layer's quiesce loops poll this to know when every completion
+// (including in-flight firmware flushes) has been pushed.
+func (q *QP) OutstandingSend() int { return q.outSend }
+
+// OutstandingRecv reports posted receive WRs not yet completed.
+func (q *QP) OutstandingRecv() int { return q.outRecv }

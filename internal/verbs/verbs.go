@@ -41,14 +41,62 @@ func (t TransportType) String() string {
 // QPState is the queue pair lifecycle state.
 type QPState int
 
-// QP states.
+// QP states, following the Infiniband modify-QP model:
+// RESET→INIT→RTR→RTS with SQD and ERR excursions (fsm.go holds the full
+// transition table). Because QPIP's rendezvous runs inside the adapter,
+// the INIT→RTR and RTR→RTS edges are driven by the device (Connect,
+// Listener mating, SetEstablished) rather than by ModifyQP.
 const (
+	// QPReset is a fresh or recycled QP: no connection, no adapter-side
+	// WR state. ModifyQP(QPReset) from the error state is the reconnect
+	// primitive.
 	QPReset QPState = iota
-	QPConnecting
-	QPEstablished
+	// QPInit is registered and ready for receive posting but not yet
+	// addressed (kept for Infiniband API fidelity; Connect and
+	// Listener.Post accept QPs in either QPReset or QPInit).
+	QPInit
+	// QPRTR: ready to receive — the TCP rendezvous is in flight
+	// (connecting, or parked on a listener awaiting a SYN).
+	QPRTR
+	// QPRTS: ready to send — the connection is established.
+	QPRTS
+	// QPSQD: send-queue drain — new PostSends are refused with
+	// ErrSQDraining while already-posted sends complete normally.
+	QPSQD
+	// QPError: the QP failed; outstanding WRs have flushed (see
+	// QP.FlushWith for the deterministic flush ordering).
 	QPError
+	// QPClosed: destroyed via Close.
 	QPClosed
 )
+
+// Compatibility aliases from the pre-state-machine API: consumers of the
+// rendezvous mostly observe "connecting" (RTR) and "established" (RTS).
+const (
+	QPConnecting  = QPRTR
+	QPEstablished = QPRTS
+)
+
+func (s QPState) String() string {
+	switch s {
+	case QPReset:
+		return "RESET"
+	case QPInit:
+		return "INIT"
+	case QPRTR:
+		return "RTR"
+	case QPRTS:
+		return "RTS"
+	case QPSQD:
+		return "SQD"
+	case QPError:
+		return "ERR"
+	case QPClosed:
+		return "CLOSED"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
 
 // Op distinguishes completion types.
 type Op int
@@ -80,6 +128,11 @@ const (
 	// overflowed and real completions were lost (CQ.Overflows counts
 	// them). It carries no WR identity.
 	StatusCQOverflow
+	// StatusRemoteDown marks WRs terminated because reconnection to the
+	// remote endpoint exhausted its bounded attempt budget
+	// (QP.Reconnect): the remote node is down or unreachable for longer
+	// than the backoff policy tolerates.
+	StatusRemoteDown
 )
 
 func (s Status) String() string {
@@ -96,6 +149,8 @@ func (s Status) String() string {
 		return "retry-exceeded"
 	case StatusCQOverflow:
 		return "cq-overflow"
+	case StatusRemoteDown:
+		return "remote-down"
 	default:
 		return fmt.Sprintf("status(%d)", int(s))
 	}
@@ -148,6 +203,26 @@ var (
 	ErrRetryExceeded = errors.New("verbs: retry budget exceeded, peer unreachable")
 	// ErrNoResources reports adapter state-table (SRAM TCB) exhaustion.
 	ErrNoResources = errors.New("verbs: adapter out of QP resources")
+	// ErrSQDraining refuses new send WRs while the QP is in the SQD
+	// (send-queue drain) state.
+	ErrSQDraining = errors.New("verbs: send queue draining (SQD)")
+	// ErrRemoteDown reports that QP.Reconnect exhausted its bounded
+	// attempt budget: the remote endpoint stayed down.
+	ErrRemoteDown = errors.New("verbs: remote endpoint down, reconnect attempts exhausted")
+	// ErrNICDown reports that the local adapter is down (crashed and not
+	// yet restarted); management verbs are refused until it reboots.
+	ErrNICDown = errors.New("verbs: adapter down")
+	// ErrPeerRestarted reports a connection fenced because a frame from a
+	// newer peer boot epoch proved the remote adapter rebooted.
+	ErrPeerRestarted = errors.New("verbs: peer adapter restarted, connection fenced")
+	// ErrAdminError marks a QP administratively moved to the error state
+	// via ModifyQP(QPError).
+	ErrAdminError = errors.New("verbs: QP administratively moved to error state")
+	// ErrHandshakeTimeout reports a connect attempt abandoned by
+	// QP.Reconnect because the rendezvous did not establish within the
+	// policy's Handshake window (the peer may be mid-recycle; another
+	// attempt follows after backoff).
+	ErrHandshakeTimeout = errors.New("verbs: connection rendezvous timed out")
 )
 
 // Device is the adapter seen from the host library: the QPIP NIC firmware
@@ -163,6 +238,12 @@ type Device interface {
 	CreateQP(qp *QP) error
 	// DestroyQP tears a QP down, flushing outstanding WRs.
 	DestroyQP(qp *QP)
+	// ResetQP returns a QP to the reset state on the adapter: any TCB is
+	// aborted and unlinked, timers cancelled, and consumed-but-unacked
+	// send WRs completed with StatusFlushed. After an adapter crash wiped
+	// the state table, the QP is re-admitted subject to capacity. Called
+	// by ModifyQP(QPReset).
+	ResetQP(qp *QP) error
 	// BindUDP binds an unreliable QP to a UDP port (0 = ephemeral).
 	BindUDP(qp *QP, port uint16) (uint16, error)
 	// Connect initiates the TCP rendezvous for a reliable QP.
@@ -203,12 +284,14 @@ func NewListener(port uint16, dev Device) *Listener {
 	return &Listener{Port: port, dev: dev}
 }
 
-// Post parks an idle QP to absorb the next incoming connection.
+// Post parks an idle QP to absorb the next incoming connection. The QP
+// enters RTR (ready to receive: awaiting the handshake).
 func (l *Listener) Post(qp *QP) error {
-	if qp.State() != QPReset {
+	if qp.State() != QPReset && qp.State() != QPInit {
 		return ErrBadState
 	}
-	qp.state = QPConnecting
+	qp.state = QPRTR
+	qp.parked = l
 	l.idle = append(l.idle, qp)
 	return nil
 }
@@ -220,7 +303,19 @@ func (l *Listener) TakeIdle() (*QP, bool) {
 	}
 	qp := l.idle[0]
 	l.idle = l.idle[1:]
+	qp.parked = nil
 	return qp, true
+}
+
+// unpark removes a parked QP that is being recycled or closed before any
+// connection mated it.
+func (l *Listener) unpark(qp *QP) {
+	for i, q := range l.idle {
+		if q == qp {
+			l.idle = append(l.idle[:i], l.idle[i+1:]...)
+			return
+		}
+	}
 }
 
 // Idle reports the number of parked QPs.

@@ -35,6 +35,7 @@ func (d *fakeDevice) HostCPU() *sim.CPU  { return d.cpu }
 func (d *fakeDevice) MaxMessage() int    { return d.maxMsg }
 func (d *fakeDevice) CreateQP(*QP) error { return nil }
 func (d *fakeDevice) DestroyQP(qp *QP)   { qp.Flush() }
+func (d *fakeDevice) ResetQP(*QP) error  { return nil }
 func (d *fakeDevice) BindUDP(qp *QP, port uint16) (uint16, error) {
 	if port == 0 {
 		return 49152, nil

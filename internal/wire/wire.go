@@ -42,6 +42,12 @@ type Packet struct {
 	L4Hdr []byte
 	// Payload is the transport payload.
 	Payload buf.Buf
+	// Epoch is the sender NIC's boot generation (QPIP adapters stamp it on
+	// every frame; zero means "unversioned sender"). Receivers fence
+	// connections with it: a frame from an older epoch is a stale pre-crash
+	// straggler and is dropped, a newer epoch proves the peer rebooted
+	// (DESIGN §13).
+	Epoch uint32
 
 	refs    int32
 	pooled  bool
@@ -95,6 +101,7 @@ func (p *Packet) Release() {
 		p.IPHdr = nil
 		p.L4Hdr = nil
 		p.Payload = buf.Buf{}
+		p.Epoch = 0
 		p.pooled = false
 		pktPool.Put(p)
 	}

@@ -102,14 +102,30 @@ const (
 	Unreliable = verbs.Unreliable
 )
 
-// QP lifecycle states (QP.State).
+// QP lifecycle states (QP.State), following the Infiniband modify-QP
+// model: RESET→INIT→RTR→RTS with SQD and ERR excursions, driven by
+// QP.ModifyQP for the host-owned edges (the rendezvous edges belong to
+// the adapter). QPConnecting/QPEstablished are the pre-state-machine
+// aliases for RTR/RTS.
 const (
 	QPReset       = verbs.QPReset
+	QPInit        = verbs.QPInit
+	QPRTR         = verbs.QPRTR
+	QPRTS         = verbs.QPRTS
+	QPSQD         = verbs.QPSQD
 	QPConnecting  = verbs.QPConnecting
 	QPEstablished = verbs.QPEstablished
 	QPError       = verbs.QPError
 	QPClosed      = verbs.QPClosed
 )
+
+// QPState is the queue pair lifecycle state.
+type QPState = verbs.QPState
+
+// BackoffPolicy is the deterministic exponential-backoff schedule used by
+// QP.Reconnect — jitter comes from the seed and attempt ordinal, never
+// the wall clock, so reconnect instants replay identically.
+type BackoffPolicy = verbs.BackoffPolicy
 
 // Completion statuses.
 const (
@@ -121,6 +137,9 @@ const (
 	// StatusCQOverflow is the synthetic completion surfacing a CQ sized
 	// too small for its completion rate.
 	StatusCQOverflow = verbs.StatusCQOverflow
+	// StatusRemoteDown: QP.Reconnect exhausted its bounded attempt
+	// budget; the remote endpoint is declared down.
+	StatusRemoteDown = verbs.StatusRemoteDown
 )
 
 // Terminal connection errors surfaced through QP.Err.
@@ -132,6 +151,15 @@ var (
 	// ErrConnRefused: the peer answered the connection attempt with a
 	// reset (no listener on the port).
 	ErrConnRefused = verbs.ErrConnRefused
+	// ErrRemoteDown: QP.Reconnect exhausted its attempt budget.
+	ErrRemoteDown = verbs.ErrRemoteDown
+	// ErrNICDown: the local adapter is down (crashed, mid-reboot).
+	ErrNICDown = verbs.ErrNICDown
+	// ErrSQDraining: PostSend refused while the QP drains in SQD.
+	ErrSQDraining = verbs.ErrSQDraining
+	// ErrPeerRestarted: the connection was fenced because the remote
+	// adapter rebooted (a frame carried a newer boot epoch).
+	ErrPeerRestarted = verbs.ErrPeerRestarted
 )
 
 // Fault injection (chaos testing): a seeded deterministic plan of drops,
@@ -144,17 +172,38 @@ type (
 	FaultInjector = fault.Injector
 	// Flap is one scheduled link-down window.
 	Flap = fault.Flap
+	// Crash is one scheduled adapter crash/restart: the NIC's TCBs,
+	// doorbells and firmware state are wiped; surviving peers observe a
+	// new boot epoch.
+	Crash = fault.Crash
+	// Partition is one scheduled one-directional connectivity outage
+	// (src→dst frames dropped; the reverse path stays up).
+	Partition = fault.Partition
 )
+
+// FlapTrain schedules n consecutive down windows on the fabric port,
+// starting at start, each down for downDur then up for upDur.
+func FlapTrain(port int, start Time, downDur, upDur Time, n int) []Flap {
+	return fault.FlapTrain(port, start, downDur, upDur, n)
+}
 
 // InjectFaults attaches a seeded fault plan to the cluster's primary
 // fabric (Myrinet when present, Ethernet otherwise) and returns the
-// injector for stats and trace inspection.
+// injector for stats and trace inspection. Crash entries in the plan are
+// scheduled against the nodes' QPIP adapters, indexed by Crash.Node.
 func InjectFaults(c *Cluster, plan FaultPlan) *FaultInjector {
 	in := fault.NewInjector(plan)
 	if c.Myrinet != nil {
 		in.Attach(c.Eng, c.Myrinet)
 	} else if c.Eth != nil {
 		in.Attach(c.Eng, c.Eth)
+	}
+	if len(plan.Crashes) > 0 {
+		targets := make([]fault.Rebootable, len(c.Nodes))
+		for i, n := range c.Nodes {
+			targets[i] = n.QPIP
+		}
+		in.ScheduleCrashes(c.Eng, targets...)
 	}
 	return in
 }
