@@ -69,20 +69,30 @@ fuzz:
 # invariants, DESIGN §12), optional staticcheck and govulncheck, the full
 # suite under the race detector, the plain suite (also exercises the fuzz
 # seed corpora), a one-shot perf smoke so a broken harness fails the gate,
-# not the bench run, and the perf guard (the batched boundary must be no
-# slower in wall clock than the per-token datapath).
+# not the bench run, the perf guard (the batched boundary must be no
+# slower in wall clock than the per-token datapath), the shard-barrier
+# race run (the parallel runner and the sequential/sharded equivalence
+# matrix under -race, beyond the all-package race target above), and the
+# scale guard (sharded runs fire the identical event count and hit the
+# speedup floor for however many cores this host actually has).
 check: vet shadow lint staticcheck govulncheck race test chaos
 	$(GO) run ./cmd/qpipbench -exp perf -bytes 1048576 -perf-repeats 1 >/dev/null
 	$(GO) run ./cmd/qpipbench -exp perfguard -bytes 4194304
+	$(GO) test -race -count=1 -run 'TestParallel|TestRunPingPong|TestRunUntilLimit|TestFreeRun|TestShardPanic' ./qpip/ ./internal/sim/par/
+	$(GO) run ./cmd/qpipbench -exp scaleguard -bytes 4194304
 
 # Regenerate BENCH_PR4.json: microbenchmarks, the seed-commit baseline
 # (built from a throwaway worktree of the pre-PR tree), and the in-binary
-# A/B comparison with the seed measurement folded in.
+# A/B comparison with the seed measurement folded in. Then BENCH_PR7.json:
+# the parallel-scaling table (sequential baseline vs sharded placements,
+# events cross-checked identical, gomaxprocs recorded per row).
 bench: microbench
 	scripts/bench_seed.sh $(BENCH_BYTES) $(BENCH_REPEATS) > /tmp/seed_baseline.json
 	$(GO) run ./cmd/qpipbench -exp perf -bytes $(BENCH_BYTES) \
 		-perf-repeats $(BENCH_REPEATS) \
 		-seed-json /tmp/seed_baseline.json -json BENCH_PR4.json
+	$(GO) run ./cmd/qpipbench -exp perfscale -bytes 8388608 \
+		-perf-repeats $(BENCH_REPEATS) -json BENCH_PR7.json
 
 microbench:
 	$(GO) test -bench=. -benchmem ./internal/sim/ ./internal/tcp/ ./internal/fabric/

@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	qpipbench [-exp all|fig3|fig4|table1|table2|table3|fig7|chaos|recovery|ablations|irq|perf|perfguard]
+//	qpipbench [-exp all|fig3|fig4|table1|table2|table3|fig7|chaos|recovery|ablations|irq|perf|perfguard|perfscale|scaleguard]
 //	          [-bytes N] [-nbd-bytes N] [-iters N] [-full]
-//	          [-parallel N] [-cpuprofile FILE] [-memprofile FILE]
+//	          [-parallel N] [-shards N] [-pairs N]
+//	          [-cpuprofile FILE] [-memprofile FILE]
 //	          [-json FILE] [-seed-json FILE] [-perf-repeats N]
 //
 // -full runs the paper's exact workload sizes (10 MB ttcp, 409 MB NBD);
@@ -19,6 +20,14 @@
 // interrupt-coalescing delay (latency vs host CPU). -exp perfguard checks
 // the batched boundary is no slower than the per-token datapath and exits
 // nonzero on regression (CI smoke).
+//
+// -exp perfscale measures the conservative parallel simulation core
+// (internal/sim/par): a many-pair workload run sequentially and sharded up
+// to -shards engines, in both isolated and cross-shard placements; with
+// -json it writes the machine-readable report (BENCH_PR7.json). -exp
+// scaleguard is the CI gate form: it checks sharded runs fire the exact
+// sequential event count and meet the wall-clock bound the host's core
+// count can express, exiting nonzero on failure.
 package main
 
 import (
@@ -32,7 +41,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig3, fig4, table1, table2, table3, fig7, chaos, recovery, ablations, irq, perf, perfguard")
+	exp := flag.String("exp", "all", "experiment: all, fig3, fig4, table1, table2, table3, fig7, chaos, recovery, ablations, irq, perf, perfguard, perfscale, scaleguard")
 	bytes := flag.Int("bytes", 4<<20, "ttcp transfer size in bytes")
 	nbdBytes := flag.Int("nbd-bytes", 64<<20, "NBD benchmark size in bytes")
 	iters := flag.Int("iters", 50, "ping-pong iterations for latency experiments")
@@ -43,6 +52,8 @@ func main() {
 	jsonPath := flag.String("json", "", "write the -exp perf report as JSON to this file")
 	seedJSON := flag.String("seed-json", "", "seed-commit baseline JSON (from scripts/bench_seed.sh) to fold into the perf report")
 	perfRepeats := flag.Int("perf-repeats", 3, "ttcp repetitions per config in -exp perf (best-of)")
+	shards := flag.Int("shards", 4, "max shard engines in -exp perfscale/scaleguard")
+	pairs := flag.Int("pairs", 4, "communicating node pairs in -exp perfscale/scaleguard")
 	flag.Parse()
 
 	if *full {
@@ -155,10 +166,34 @@ func main() {
 		}
 	}))
 
-	// perfguard is CI-only: never part of -exp all, exits 1 on regression.
+	// perfscale is excluded from -exp all like perf: its sharded clusters
+	// spawn worker threads, which must not overlap -parallel sweeps.
+	if *exp == "perfscale" {
+		ran = true
+		rep := bench.Perfscale(*pairs, *shards, *bytes, *perfRepeats)
+		fmt.Print(bench.RenderPerfscale(rep))
+		if *jsonPath != "" {
+			if err := bench.WriteScaleJSON(*jsonPath, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+	}
+
+	// perfguard/scaleguard are CI-only: never part of -exp all, exit 1 on
+	// regression.
 	if *exp == "perfguard" {
 		ran = true
 		report, ok := bench.PerfGuard(*bytes)
+		fmt.Print(report)
+		if !ok {
+			os.Exit(1)
+		}
+	}
+	if *exp == "scaleguard" {
+		ran = true
+		report, ok := bench.PerfscaleGuard(*pairs, *shards, *bytes)
 		fmt.Print(report)
 		if !ok {
 			os.Exit(1)

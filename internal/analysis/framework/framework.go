@@ -179,6 +179,7 @@ func (s allowSet) allows(analyzer string, pos token.Position) bool {
 // the list and therefore exempt.
 var simulatedSuffixes = []string{
 	"internal/sim",
+	"internal/sim/par", // suffix matching is per-entry: the subpackage needs its own
 	"internal/tcp",
 	"internal/udp",
 	"internal/inet",
@@ -210,6 +211,17 @@ func SimulatedPackage(path string) bool {
 		}
 	}
 	return false
+}
+
+// ShardRunnerPackage reports whether the import path names the
+// conservative parallel runner (internal/sim/par) — the ONE simulated
+// package where goroutines and sync primitives are legal. Its whole job is
+// to drive shard engines on worker goroutines and park them at epoch
+// barriers; every other simulated package must still model concurrency
+// with sim.Proc/sim.Server, so nogoroutine exempts exactly this path.
+func ShardRunnerPackage(path string) bool {
+	const suf = "internal/sim/par"
+	return path == suf || strings.HasSuffix(path, "/"+suf)
 }
 
 // CalleeName resolves the called function/method object of call, or nil

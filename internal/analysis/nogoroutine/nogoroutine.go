@@ -20,6 +20,13 @@
 // The PR 2 parallel sweep harness lives in internal/bench, which is not a
 // simulated package and therefore exempt, as are cmd/, scripts/ and
 // _test.go files.
+//
+// One simulated package is allowlisted: internal/sim/par, the conservative
+// parallel shard runner (framework.ShardRunnerPackage). Its entire purpose
+// is to drive shard engines on worker goroutines and park them at epoch
+// barriers, so go statements and sync primitives are legal there — and
+// ONLY there. Model code must never reach for the runner's tools; it still
+// expresses concurrency as sim.Proc/sim.Server inside one engine.
 package nogoroutine
 
 import (
@@ -52,6 +59,12 @@ var Analyzer = &framework.Analyzer{
 
 func run(pass *framework.Pass) error {
 	if !framework.SimulatedPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	if framework.ShardRunnerPackage(pass.Pkg.Path()) {
+		// The shard-runner allowlist: worker goroutines and barrier
+		// synchronization are this package's whole job. The other simulated
+		// invariants (simclock, maporder, ...) still apply to it.
 		return nil
 	}
 	for _, f := range pass.Files {

@@ -1,0 +1,37 @@
+// Package par stands in for the conservative parallel shard runner: its
+// import path ends in internal/sim/par, the ONE simulated package on the
+// nogoroutine allowlist. Worker goroutines, channels, and sync primitives
+// are legal here without per-line suppressions — no want comments in this
+// file. Everything around it (see ../run.go) is still forbidden.
+package par
+
+import "sync"
+
+type worker struct {
+	cmd  chan int
+	done chan struct{}
+}
+
+func (w *worker) loop() {
+	for range w.cmd {
+		w.done <- struct{}{}
+	}
+}
+
+func runEpochs(n int) {
+	var wg sync.WaitGroup
+	workers := make([]*worker, n)
+	for i := range workers {
+		w := &worker{cmd: make(chan int), done: make(chan struct{})}
+		workers[i] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.loop()
+		}()
+	}
+	for _, w := range workers {
+		close(w.cmd)
+	}
+	wg.Wait()
+}

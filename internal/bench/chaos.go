@@ -67,9 +67,9 @@ func Chaos(totalBytes int) []ChaosRow {
 			cl = c
 			inj = fault.NewInjector(plan)
 			if c.Myrinet != nil {
-				inj.Attach(c.Eng, c.Myrinet)
+				inj.Attach(c.Myrinet)
 			} else {
-				inj.Attach(c.Eng, c.Eth)
+				inj.Attach(c.Eth)
 			}
 		}
 

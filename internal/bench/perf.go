@@ -27,9 +27,14 @@ import (
 // proves the two configurations simulate the identical world, so the
 // comparison is pure mechanism cost.
 
-// PerfVariant is one engine configuration's ttcp measurement.
+// PerfVariant is one engine configuration's ttcp measurement. Gomaxprocs
+// and Shards record the execution substrate per row, so measurements from
+// hosts with different core counts (or from sharded runs) stay
+// apples-to-apples when reports are compared across machines.
 type PerfVariant struct {
 	Config       string  `json:"config"`
+	Gomaxprocs   int     `json:"gomaxprocs"`
+	Shards       int     `json:"shards"`
 	WallSeconds  float64 `json:"wall_seconds"`
 	Events       uint64  `json:"events_fired"`
 	EventsPerSec float64 `json:"events_per_sec"`
@@ -94,6 +99,8 @@ func measureTtcpOnce(config string, totalBytes int) PerfVariant {
 	fired := cl.Eng.Fired()
 	return PerfVariant{
 		Config:       config,
+		Gomaxprocs:   runtime.GOMAXPROCS(0),
+		Shards:       1, // the ttcp A/B comparison always runs sequentially
 		WallSeconds:  wall,
 		Events:       fired,
 		EventsPerSec: float64(fired) / wall,

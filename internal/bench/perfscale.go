@@ -1,0 +1,316 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/buf"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/verbs"
+)
+
+// This file is the PR-7 parallel-scaling harness: the same many-pair
+// workload runs sequentially and sharded (internal/sim/par), and the report
+// records wall clock, fired events, and events/second per configuration.
+// The equivalence tests (qpip/parallel_test.go) prove every configuration
+// simulates the identical world, so rows differ only in mechanism cost —
+// and the fired-event counts are asserted equal here as a cheap cross-check.
+//
+// Two placements are measured. "local" keeps each communicating pair on one
+// shard with the fabrics severed (ShardPlan.Isolate): shards free-run to
+// quiescence with no barriers, the embarrassingly parallel best case.
+// "cross" places nodes round-robin so every flow crosses the shard
+// boundary: each row pays the full lookahead-epoch barrier cost, the honest
+// worst case. Wall-clock speedup is bounded by min(shards, GOMAXPROCS) —
+// each row records GOMAXPROCS so results from hosts with different core
+// counts stay comparable.
+
+// ScaleRow is one engine-placement configuration's measurement.
+type ScaleRow struct {
+	Placement    string  `json:"placement"` // sequential | local | cross
+	Shards       int     `json:"shards"`
+	Gomaxprocs   int     `json:"gomaxprocs"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	Events       uint64  `json:"events_fired"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// SpeedupWall is sequential wall / this row's wall (1.0 for sequential).
+	SpeedupWall float64 `json:"speedup_wall_vs_sequential"`
+	// EventsMatch records the cheap bit-identity cross-check: the sharded
+	// run fired exactly as many events as the sequential one.
+	EventsMatch bool `json:"events_match_sequential"`
+}
+
+// ScaleReport is the whole parallel-scaling comparison.
+type ScaleReport struct {
+	GeneratedBy  string     `json:"generated_by"`
+	GoVersion    string     `json:"go_version"`
+	GOOS         string     `json:"goos"`
+	GOARCH       string     `json:"goarch"`
+	GOMAXPROCS   int        `json:"gomaxprocs"`
+	NumCPU       int        `json:"num_cpu"`
+	Pairs        int        `json:"pairs"`
+	BytesPerPair int        `json:"bytes_per_pair"`
+	Workload     string     `json:"workload"`
+	Rows         []ScaleRow `json:"rows"`
+}
+
+// scaleWorkload spawns `pairs` independent reliable-QP transfers, client
+// node 2k -> server node 2k+1, each pushing totalBytes in 16 KB messages.
+// It is placement-agnostic: SpawnOn pins every process to its node's shard
+// engine, which on a sequential cluster is the one engine.
+func scaleWorkload(c *core.Cluster, pairs, totalBytes int) {
+	msgSize := TtcpChunk
+	if m := c.Nodes[0].QPIP.MaxMessage(); msgSize > m {
+		msgSize = m
+	}
+	nMsgs := (totalBytes + msgSize - 1) / msgSize
+	const window = 32
+	for k := 0; k < pairs; k++ {
+		client, server := 2*k, 2*k+1
+		port := uint16(7000 + k)
+		c.SpawnOn(server, fmt.Sprintf("server%d", server), func(p *sim.Proc) {
+			qp, _, rcq, err := newRC(c.Nodes[server], 2*window)
+			if err != nil {
+				panic(err)
+			}
+			lst, err := c.Nodes[server].QPIP.Listen(port)
+			if err != nil {
+				panic(err)
+			}
+			lst.Post(qp)
+			if err := qp.WaitEstablished(p); err != nil {
+				panic(err)
+			}
+			posted, got := 0, 0
+			postMore := func() {
+				for posted < nMsgs && posted-got < window {
+					if err := qp.PostRecv(p, verbs.RecvWR{ID: uint64(posted), Capacity: msgSize}); err != nil {
+						panic(err)
+					}
+					posted++
+				}
+			}
+			postMore()
+			for got < nMsgs {
+				rcq.Wait(p)
+				got++
+				postMore()
+			}
+		})
+		c.SpawnOn(client, fmt.Sprintf("client%d", client), func(p *sim.Proc) {
+			qp, scq, _, err := newRC(c.Nodes[client], 2*window)
+			if err != nil {
+				panic(err)
+			}
+			if err := qp.Connect(p, c.Nodes[server].Addr6, port); err != nil {
+				panic(err)
+			}
+			inFlight, sent := 0, 0
+			for sent < nMsgs {
+				for inFlight < window && sent < nMsgs {
+					if err := qp.PostSend(p, verbs.SendWR{ID: uint64(sent), Payload: buf.Virtual(msgSize)}); err != nil {
+						panic(err)
+					}
+					sent++
+					inFlight++
+				}
+				scq.Wait(p)
+				inFlight--
+			}
+			for inFlight > 0 {
+				scq.Wait(p)
+				inFlight--
+			}
+		})
+	}
+}
+
+// scaleCluster builds the cluster for one placement.
+func scaleCluster(placement string, pairs, shards int) *core.Cluster {
+	cfg := core.NodeConfig{QPIP: true}
+	switch placement {
+	case "sequential":
+		return core.NewCluster(2*pairs, cfg)
+	case "local":
+		// Pair k entirely on shard k%shards; no cross-shard traffic, so the
+		// fabrics are severed and the runner skips barriers.
+		return core.NewShardedCluster(2*pairs, cfg, core.ShardPlan{
+			Shards:    shards,
+			NodeShard: func(i int) int { return (i / 2) % shards },
+			Isolate:   true,
+		})
+	case "cross":
+		// Round-robin: every pair straddles shards, all frames ride the
+		// lookahead-epoch mailboxes.
+		return core.NewShardedCluster(2*pairs, cfg, core.ShardPlan{Shards: shards})
+	default:
+		panic("unknown placement " + placement)
+	}
+}
+
+// measureScaleOnce runs the workload once on a fresh cluster.
+func measureScaleOnce(placement string, pairs, shards, totalBytes int) ScaleRow {
+	c := scaleCluster(placement, pairs, shards)
+	scaleWorkload(c, pairs, totalBytes)
+	runtime.GC()
+	t0 := time.Now()
+	c.Run()
+	wall := time.Since(t0).Seconds()
+	fired := c.FiredTotal()
+	return ScaleRow{
+		Placement:    placement,
+		Shards:       shards,
+		Gomaxprocs:   runtime.GOMAXPROCS(0),
+		WallSeconds:  wall,
+		Events:       fired,
+		EventsPerSec: float64(fired) / wall,
+	}
+}
+
+// measureScale takes the best of `repeats` runs (wall clock is the only
+// thing that varies; the simulated schedule is identical every time).
+func measureScale(placement string, pairs, shards, totalBytes, repeats int) ScaleRow {
+	var best ScaleRow
+	for r := 0; r < repeats; r++ {
+		v := measureScaleOnce(placement, pairs, shards, totalBytes)
+		if r == 0 || v.WallSeconds < best.WallSeconds {
+			best = v
+		}
+	}
+	return best
+}
+
+// Perfscale runs the scaling sweep: a sequential baseline, isolated (local)
+// placement at 1/2/4/... shards up to maxShards, and one cross-placement
+// row at 2 shards.
+func Perfscale(pairs, maxShards, bytesPerPair, repeats int) ScaleReport {
+	if pairs <= 0 {
+		pairs = 4
+	}
+	if maxShards <= 0 {
+		maxShards = 4
+	}
+	if maxShards > pairs {
+		maxShards = pairs
+	}
+	if bytesPerPair <= 0 {
+		bytesPerPair = 4 << 20
+	}
+	if repeats <= 0 {
+		repeats = 3
+	}
+	rep := ScaleReport{
+		GeneratedBy:  "qpipbench -exp perfscale",
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		Pairs:        pairs,
+		BytesPerPair: bytesPerPair,
+		Workload: fmt.Sprintf(
+			"%d independent qpip pairs, %d bytes each in 16 KB messages, %d-node cluster",
+			pairs, bytesPerPair, 2*pairs),
+	}
+
+	seq := measureScale("sequential", pairs, 1, bytesPerPair, repeats)
+	seq.SpeedupWall = 1
+	seq.EventsMatch = true
+	rep.Rows = append(rep.Rows, seq)
+
+	add := func(row ScaleRow) {
+		row.SpeedupWall = seq.WallSeconds / row.WallSeconds
+		row.EventsMatch = row.Events == seq.Events
+		rep.Rows = append(rep.Rows, row)
+	}
+	for s := 1; s <= maxShards; s *= 2 {
+		add(measureScale("local", pairs, s, bytesPerPair, repeats))
+	}
+	if maxShards >= 2 {
+		add(measureScale("cross", pairs, 2, bytesPerPair, repeats))
+	}
+	return rep
+}
+
+// RenderPerfscale formats the sweep for the terminal.
+func RenderPerfscale(r ScaleReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Parallel scaling: conservative sharded engines vs sequential\n")
+	fmt.Fprintf(&b, "workload: %s\n", r.Workload)
+	fmt.Fprintf(&b, "host: GOMAXPROCS=%d NumCPU=%d (wall speedup is bounded by min(shards, GOMAXPROCS))\n",
+		r.GOMAXPROCS, r.NumCPU)
+	fmt.Fprintf(&b, "%-12s %7s %11s %10s %14s %14s %9s %7s\n",
+		"placement", "shards", "gomaxprocs", "wall (s)", "events", "events/s", "speedup", "ident")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12s %7d %11d %10.3f %14d %14.0f %8.2fx %7v\n",
+			row.Placement, row.Shards, row.Gomaxprocs, row.WallSeconds,
+			row.Events, row.EventsPerSec, row.SpeedupWall, row.EventsMatch)
+	}
+	return b.String()
+}
+
+// WriteScaleJSON writes the report as indented JSON.
+func WriteScaleJSON(path string, r ScaleReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}
+
+// PerfscaleGuard is the CI scaling gate. Every sharded row must fire
+// exactly the sequential event count (bit-identity's cheap shadow), and
+// wall clock must meet the bound the host can actually express:
+//
+//	effective := min(shards, GOMAXPROCS)
+//	effective >= 4: local placement must be >= 2.5x sequential
+//	effective == 2: local placement must be >= 1.3x sequential
+//	effective == 1: no parallelism available — the runner must not cost
+//	                more than 1/tolerance of sequential wall (an overhead
+//	                bound, sized loose enough to absorb shared-CI noise)
+func PerfscaleGuard(pairs, shards, bytesPerPair int) (string, bool) {
+	r := Perfscale(pairs, shards, bytesPerPair, 3)
+	const tolerance = 0.70 // allow 1/0.70 ≈ 43% wall noise/overhead at 1 core
+	ok := true
+	var b strings.Builder
+	fmt.Fprintf(&b, "perfscale guard: %s\n", r.Workload)
+	seq := r.Rows[0]
+	for _, row := range r.Rows[1:] {
+		if !row.EventsMatch {
+			ok = false
+			fmt.Fprintf(&b, "FAIL %s/%d: fired %d events, sequential fired %d\n",
+				row.Placement, row.Shards, row.Events, seq.Events)
+			continue
+		}
+		effective := row.Shards
+		if row.Gomaxprocs < effective {
+			effective = row.Gomaxprocs
+		}
+		var need float64
+		switch {
+		case row.Placement != "local":
+			need = 0 // cross placement is reported, not gated: barrier cost is the honest overhead row
+		case effective >= 4:
+			need = 2.5
+		case effective == 2:
+			need = 1.3
+		default:
+			need = tolerance
+		}
+		verdict := "PASS"
+		if need > 0 && row.SpeedupWall < need {
+			ok = false
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(&b, "%s %s/%d shards (effective cores %d): %.2fx vs sequential (need %.2fx)\n",
+			verdict, row.Placement, row.Shards, effective, row.SpeedupWall, need)
+	}
+	fmt.Fprintf(&b, "%s\n", map[bool]string{true: "PASS", false: "FAIL"}[ok])
+	return b.String(), ok
+}

@@ -116,7 +116,7 @@ func recoveryRun(s recoverySpec, total int, baselineMBps float64) RecoveryRow {
 		faultEnd = s.at + s.down
 	}
 	inj := fault.NewInjector(plan)
-	inj.Attach(c.Eng, c.Myrinet)
+	inj.Attach(c.Myrinet)
 	inj.ScheduleCrashes(c.Eng, c.Nodes[0].QPIP, c.Nodes[1].QPIP)
 
 	row := RecoveryRow{

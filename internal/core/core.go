@@ -16,6 +16,7 @@ import (
 	"repro/internal/params"
 	"repro/internal/qpipnic"
 	"repro/internal/sim"
+	"repro/internal/sim/par"
 )
 
 // NodeConfig selects the adapters a node carries.
@@ -66,19 +67,80 @@ type Node struct {
 	Addr6 inet.Addr6
 }
 
+// ShardPlan partitions a cluster's nodes across parallel shard engines for
+// conservative parallel execution (internal/sim/par). The zero value (or a
+// Shards of 0/1 via NewCluster) is the plain sequential cluster.
+type ShardPlan struct {
+	// Shards is the number of shard engines (one worker goroutine each;
+	// the Go scheduler spreads them across GOMAXPROCS cores).
+	Shards int
+	// NodeShard maps a node index to its shard. Nil means round-robin
+	// (node i on shard i%Shards).
+	NodeShard func(node int) int
+	// Isolate declares that no traffic will cross shard boundaries (the
+	// workload keeps communicating nodes co-sharded). All cross-shard
+	// fabric links are severed — a stray cross-shard frame panics — and
+	// the runner skips epoch barriers entirely: shards run free to
+	// quiescence, embarrassingly parallel.
+	Isolate bool
+}
+
 // Cluster is a set of nodes on shared fabrics.
 type Cluster struct {
-	Eng     *sim.Engine
+	// Eng is the first (and, unsharded, only) engine — the scheduling home
+	// of Spawn and of cluster-wide timers.
+	Eng *sim.Engine
+	// Engines holds one engine per shard; len 1 when unsharded.
+	Engines []*sim.Engine
 	Myrinet *fabric.Fabric
 	Eth     *fabric.Fabric
 	Routes6 *inet.Table6
 	Nodes   []*Node
+
+	shardOf []int // node index -> shard
+	sharded bool  // built by NewShardedCluster: Run uses the parallel runner
 }
 
-// NewCluster builds n identically configured nodes.
+// NewCluster builds n identically configured nodes on one engine.
 func NewCluster(n int, cfg NodeConfig) *Cluster {
-	eng := sim.NewEngine()
-	c := &Cluster{Eng: eng, Routes6: inet.NewTable6()}
+	return newCluster(n, cfg, ShardPlan{Shards: 1}, false)
+}
+
+// NewShardedCluster builds n identically configured nodes partitioned
+// across plan.Shards engines, and Run drives them with the conservative
+// parallel runner. A plan of 1 shard runs the identical event schedule as
+// NewCluster through the runner's worker machinery — the equivalence
+// tests' middle rung.
+func NewShardedCluster(n int, cfg NodeConfig, plan ShardPlan) *Cluster {
+	if plan.Shards < 1 {
+		plan.Shards = 1
+	}
+	return newCluster(n, cfg, plan, true)
+}
+
+func newCluster(n int, cfg NodeConfig, plan ShardPlan, sharded bool) *Cluster {
+	engines := make([]*sim.Engine, plan.Shards)
+	for i := range engines {
+		engines[i] = sim.NewEngine()
+	}
+	c := &Cluster{
+		Eng:     engines[0],
+		Engines: engines,
+		Routes6: inet.NewTable6(),
+		sharded: sharded,
+		shardOf: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		s := i % plan.Shards
+		if plan.NodeShard != nil {
+			s = plan.NodeShard(i)
+		}
+		if s < 0 || s >= plan.Shards {
+			panic(fmt.Sprintf("core: node %d mapped to shard %d of %d", i, s, plan.Shards))
+		}
+		c.shardOf[i] = s
+	}
+	eng := c.Eng
 	needMyri := cfg.QPIP || cfg.GM
 	if needMyri {
 		c.Myrinet = fabric.New(eng, fabric.Config{
@@ -104,6 +166,14 @@ func NewCluster(n int, cfg NodeConfig) *Cluster {
 			PropDelay:    params.CableLatency,
 		})
 	}
+	if plan.Isolate {
+		if c.Myrinet != nil {
+			c.Myrinet.SeverCrossShard()
+		}
+		if c.Eth != nil {
+			c.Eth.SeverCrossShard()
+		}
+	}
 	for i := 0; i < n; i++ {
 		c.Nodes = append(c.Nodes, c.addNode(i, cfg))
 	}
@@ -128,7 +198,7 @@ func NewCluster(n int, cfg NodeConfig) *Cluster {
 }
 
 func (c *Cluster) addNode(i int, cfg NodeConfig) *Node {
-	eng := c.Eng
+	eng := c.EngineOf(i)
 	name := fmt.Sprintf("node%d", i)
 	node := &Node{
 		Index: i,
@@ -173,13 +243,118 @@ func (c *Cluster) addNode(i int, cfg NodeConfig) *Node {
 	return node
 }
 
-// Spawn starts an application process on the cluster.
+// EngineOf reports the shard engine node i lives on.
+func (c *Cluster) EngineOf(node int) *sim.Engine {
+	return c.Engines[c.shardOf[node]]
+}
+
+// Shards reports the number of shard engines.
+func (c *Cluster) Shards() int { return len(c.Engines) }
+
+// Spawn starts an application process on the cluster (on shard 0 — fine
+// sequentially; sharded workloads use SpawnOn so a process shares its
+// node's engine).
 func (c *Cluster) Spawn(name string, fn func(*sim.Proc)) *sim.Proc {
 	return c.Eng.Spawn(name, fn)
 }
 
-// Run drives the simulation until quiescent.
-func (c *Cluster) Run() { c.Eng.Run() }
+// SpawnOn starts an application process on node's shard engine. Processes
+// must run where their node's adapters do: verbs calls schedule events on
+// the current engine, and CQ wakes arrive from the node's NIC.
+func (c *Cluster) SpawnOn(node int, name string, fn func(*sim.Proc)) *sim.Proc {
+	return c.EngineOf(node).Spawn(name, fn)
+}
+
+// lookahead computes the parallel runner's epoch window: the minimum
+// cross-shard latency over the cluster's fabrics. ok=false means no
+// unsevered cross-shard link exists (shards run free, no barriers).
+func (c *Cluster) lookahead() (sim.Time, bool) {
+	la, ok := sim.Time(0), false
+	for _, f := range []*fabric.Fabric{c.Myrinet, c.Eth} {
+		if f == nil {
+			continue
+		}
+		if l, cross := f.CrossShardLookahead(); cross && (!ok || l < la) {
+			la, ok = l, true
+		}
+	}
+	return la, ok
+}
+
+// exchange drains every fabric's cross-shard mailboxes at an epoch
+// barrier, in fixed fabric order; fabrics drain ports in attachment order.
+func (c *Cluster) exchange() int {
+	n := 0
+	for _, f := range []*fabric.Fabric{c.Myrinet, c.Eth} {
+		if f != nil {
+			n += f.DrainMailboxes()
+		}
+	}
+	return n
+}
+
+// parConfig assembles the conservative runner's configuration.
+func (c *Cluster) parConfig() par.Config {
+	la, cross := c.lookahead()
+	if cross && la <= 0 {
+		panic("core: sharded cluster with zero cross-shard lookahead cannot advance")
+	}
+	cfg := par.Config{Engines: c.Engines, Exchange: c.exchange}
+	if cross {
+		cfg.Lookahead = la
+	}
+	return cfg
+}
+
+// Run drives the simulation until quiescent: directly on the engine for a
+// sequential cluster, via the conservative parallel runner (lookahead
+// epochs, barrier frame exchange) for a sharded one.
+func (c *Cluster) Run() {
+	if !c.sharded {
+		c.Eng.Run()
+		return
+	}
+	par.Run(c.parConfig())
+}
 
 // RunFor drives the simulation for d of simulated time.
-func (c *Cluster) RunFor(d sim.Time) { c.Eng.RunFor(d) }
+func (c *Cluster) RunFor(d sim.Time) {
+	if !c.sharded {
+		c.Eng.RunFor(d)
+		return
+	}
+	var now sim.Time
+	for _, e := range c.Engines {
+		if e.Now() > now {
+			now = e.Now()
+		}
+	}
+	par.RunUntil(c.parConfig(), now+d)
+}
+
+// EndTime reports when the simulation last did work: the maximum
+// LastEventAt over shard engines. For a drained sequential cluster this
+// equals Eng.Now(); for a sharded run it is the mode-independent end
+// timestamp (shard clocks are forced past the last event by the epoch
+// horizon, so Now is not comparable).
+func (c *Cluster) EndTime() sim.Time {
+	var end sim.Time
+	for _, e := range c.Engines {
+		if t := e.LastEventAt(); t > end {
+			end = t
+		}
+	}
+	return end
+}
+
+// FiredTotal reports the number of events executed across all shards —
+// invariant across sequential, 1-shard, and N-shard runs of the same
+// workload (a cross-shard handoff replaces one locally scheduled delivery
+// with one injected delivery).
+func (c *Cluster) FiredTotal() uint64 {
+	var total uint64
+	for _, e := range c.Engines {
+		total += e.Fired()
+	}
+	return total
+}

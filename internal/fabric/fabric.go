@@ -37,6 +37,7 @@ type Frame struct {
 	// frame once (surviving pool recycling), so a fault-free transit
 	// schedules no per-frame closures.
 	fab    *Fabric
+	sport  *port
 	dport  *port
 	onTx   func()
 	delay  sim.Time // fault-injected extra switch delay
@@ -56,30 +57,56 @@ func (fr *Frame) bindFns() {
 		if fr.onTx != nil {
 			fr.onTx()
 		}
+		sp, dp := fr.sport, fr.dport
 		if f.cfg.CutThrough {
 			// Cut-through: the destination link streamed concurrently; the
 			// last byte arrives one hop latency + propagation after it left
 			// the source.
-			f.eng.After(f.cfg.HopLatency+f.cfg.PropDelay+fr.delay, "fabric.deliver", fr.dlvrFn)
+			d := f.cfg.HopLatency + f.cfg.PropDelay + fr.delay
 			if fr.dup {
-				f.duplicated++
-				f.eng.After(f.cfg.HopLatency+f.cfg.PropDelay+fr.delay+fr.ser, "fabric.deliver", fr.dlvrFn)
+				sp.duplicated++
+			}
+			if dp.eng != sp.eng {
+				// Cross-shard: buffer the delivery in the source port's
+				// mailbox; the barrier injects it into the destination
+				// engine in canonical order (DrainMailboxes).
+				now := sp.eng.Now()
+				sp.outbox = append(sp.outbox, mail{eng: dp.eng, at: now + d, name: "fabric.deliver", fn: fr.dlvrFn})
+				if fr.dup {
+					sp.outbox = append(sp.outbox, mail{eng: dp.eng, at: now + d + fr.ser, name: "fabric.deliver", fn: fr.dlvrFn})
+				}
+				return
+			}
+			sp.eng.After(d, "fabric.deliver", fr.dlvrFn)
+			if fr.dup {
+				sp.eng.After(d+fr.ser, "fabric.deliver", fr.dlvrFn)
 			}
 			return
 		}
 		// Store-and-forward: the switch re-serializes onto the destination
 		// link (modeled with contention).
-		f.eng.After(f.cfg.HopLatency+fr.delay, "fabric.switch", fr.swFn)
+		d := f.cfg.HopLatency + fr.delay
 		if fr.dup {
-			f.duplicated++
-			f.eng.After(f.cfg.HopLatency+fr.delay, "fabric.switch", fr.swFn)
+			sp.duplicated++
+		}
+		if dp.eng != sp.eng {
+			now := sp.eng.Now()
+			sp.outbox = append(sp.outbox, mail{eng: dp.eng, at: now + d, name: "fabric.switch", fn: fr.swFn})
+			if fr.dup {
+				sp.outbox = append(sp.outbox, mail{eng: dp.eng, at: now + d, name: "fabric.switch", fn: fr.swFn})
+			}
+			return
+		}
+		sp.eng.After(d, "fabric.switch", fr.swFn)
+		if fr.dup {
+			sp.eng.After(d, "fabric.switch", fr.swFn)
 		}
 	}
 	fr.swFn = func() {
 		fr.dport.down.Do(fr.ser, "fabric.fwd", fr.fwdFn)
 	}
 	fr.fwdFn = func() {
-		fr.fab.eng.After(fr.fab.cfg.PropDelay, "fabric.deliver", fr.dlvrFn)
+		fr.dport.eng.After(fr.fab.cfg.PropDelay, "fabric.deliver", fr.dlvrFn)
 	}
 	fr.dlvrFn = func() {
 		fr.fab.deliver(fr.dport, fr)
@@ -159,14 +186,37 @@ type FaultDecision struct {
 	Duplicate bool
 }
 
-// FaultHook decides the fate of each sent frame. n counts frames ever
-// sent on this fabric.
-type FaultHook func(f *Frame, n uint64) FaultDecision
+// FaultHook decides the fate of each sent frame. n counts frames ever sent
+// from this frame's source attachment (a per-source ordinal, so sharded and
+// sequential runs agree on it), and now is the sending engine's clock.
+type FaultHook func(f *Frame, n uint64, now sim.Time) FaultDecision
+
+// mail is one cross-shard handoff buffered during an epoch: an event to
+// inject into the destination shard's engine at the barrier.
+type mail struct {
+	eng  *sim.Engine
+	at   sim.Time
+	name string
+	fn   func()
+}
 
 type port struct {
+	eng     *sim.Engine // the engine this attachment lives on
 	up      *sim.Server // attachment -> switch
 	down    *sim.Server // switch -> attachment
 	handler Handler
+
+	// Source-side counters (incremented from the attachment's engine) and
+	// the destination-side delivered counter. Per-port so concurrent shards
+	// never share a counter word; Stats sums them.
+	sent, dropped         uint64
+	corrupted, duplicated uint64
+	bytesSent             uint64
+	delivered             uint64
+
+	// outbox buffers this source's cross-shard handoffs for the current
+	// epoch, in transmit-completion order (time-ordered per source).
+	outbox []mail
 }
 
 // Config describes a fabric.
@@ -202,9 +252,10 @@ type Fabric struct {
 	// folded into the FaultDecision as a plain drop.
 	Drop func(f *Frame, n uint64) bool
 
-	sent, delivered, dropped uint64
-	corrupted, duplicated    uint64
-	bytesSent                uint64
+	// severCross, when set, declares that no frame may cross between
+	// engines: cross-shard sends panic, and CrossShardLookahead reports no
+	// cross links so the parallel runner skips epoch barriers entirely.
+	severCross bool
 }
 
 // New builds an empty fabric on eng.
@@ -215,15 +266,79 @@ func New(eng *sim.Engine, cfg Config) *Fabric {
 	return &Fabric{eng: eng, cfg: cfg}
 }
 
-// Attach adds an endpoint and returns its attachment id.
-func (f *Fabric) Attach(h Handler) int {
+// Attach adds an endpoint on the fabric's own engine and returns its
+// attachment id.
+func (f *Fabric) Attach(h Handler) int { return f.AttachOn(f.eng, h) }
+
+// AttachOn adds an endpoint whose link servers and delivery events live on
+// eng — the attaching node's shard engine. Sequential clusters pass the one
+// shared engine; sharded clusters pass the node's shard engine so the
+// port's entire datapath is single-threaded within its shard.
+func (f *Fabric) AttachOn(eng *sim.Engine, h Handler) int {
+	if eng == nil {
+		eng = f.eng
+	}
 	id := len(f.ports)
 	f.ports = append(f.ports, &port{
-		up:      sim.NewServer(f.eng, fmt.Sprintf("%s.port%d.up", f.cfg.Name, id)),
-		down:    sim.NewServer(f.eng, fmt.Sprintf("%s.port%d.down", f.cfg.Name, id)),
+		eng:     eng,
+		up:      sim.NewServer(eng, fmt.Sprintf("%s.port%d.up", f.cfg.Name, id)),
+		down:    sim.NewServer(eng, fmt.Sprintf("%s.port%d.down", f.cfg.Name, id)),
 		handler: h,
 	})
 	return id
+}
+
+// SeverCrossShard declares that no traffic will cross between shard
+// engines (isolated placement): cross-engine sends become a panic and the
+// parallel runner needs no lookahead barrier on this fabric.
+func (f *Fabric) SeverCrossShard() { f.severCross = true }
+
+// CrossShardLookahead reports the minimum latency a frame needs before it
+// can affect another shard, and whether any unsevered cross-engine
+// attachment pair exists. With cut-through forwarding a frame reaches the
+// destination handler after HopLatency+PropDelay; store-and-forward frames
+// first touch the destination shard at the switch-forward event, HopLatency
+// after transmit.
+func (f *Fabric) CrossShardLookahead() (sim.Time, bool) {
+	if f.severCross {
+		return 0, false
+	}
+	cross := false
+	for i, pi := range f.ports {
+		for _, pj := range f.ports[i+1:] {
+			if pi.eng != pj.eng {
+				cross = true
+			}
+		}
+	}
+	if !cross {
+		return 0, false
+	}
+	if f.cfg.CutThrough {
+		return f.cfg.HopLatency + f.cfg.PropDelay, true
+	}
+	return f.cfg.HopLatency, true
+}
+
+// DrainMailboxes injects every buffered cross-shard handoff into its
+// destination engine and reports how many were injected. Called only at
+// epoch barriers, single-threaded, with all shard workers parked. The
+// injection order is canonical — ports in ascending attachment order, each
+// port's outbox in transmit order — so destination-engine sequence numbers
+// (the tie-breaker for same-timestamp events) are a deterministic function
+// of the workload, never of OS thread interleaving.
+func (f *Fabric) DrainMailboxes() int {
+	total := 0
+	for _, p := range f.ports {
+		for i := range p.outbox {
+			m := &p.outbox[i]
+			m.eng.At(m.at, m.name, m.fn)
+			m.fn = nil
+		}
+		total += len(p.outbox)
+		p.outbox = p.outbox[:0]
+	}
+	return total
 }
 
 // Ports reports the number of attachments.
@@ -237,15 +352,24 @@ func (f *Fabric) serTime(size int) sim.Time {
 	return sim.Time(float64(size) * 1e9 / f.cfg.Bandwidth)
 }
 
-// Stats reports (sent, delivered, dropped) frame counts.
+// Stats reports (sent, delivered, dropped) frame counts, summed over ports.
 func (f *Fabric) Stats() (sent, delivered, dropped uint64) {
-	return f.sent, f.delivered, f.dropped
+	for _, p := range f.ports {
+		sent += p.sent
+		delivered += p.delivered
+		dropped += p.dropped
+	}
+	return sent, delivered, dropped
 }
 
 // FaultStats reports (corrupted, duplicated) frame counts from the fault
-// hook's decisions.
+// hook's decisions, summed over ports.
 func (f *Fabric) FaultStats() (corrupted, duplicated uint64) {
-	return f.corrupted, f.duplicated
+	for _, p := range f.ports {
+		corrupted += p.corrupted
+		duplicated += p.duplicated
+	}
+	return corrupted, duplicated
 }
 
 // Send injects a frame. onTxDone (may be nil) runs when the sender's link
@@ -261,12 +385,18 @@ func (f *Fabric) Send(frame *Frame, onTxDone func()) {
 		panic(fmt.Sprintf("fabric %s: frame of %d bytes exceeds MTU %d — stacks must segment",
 			f.cfg.Name, netSize-f.cfg.LinkOverhead, f.cfg.MTU))
 	}
-	n := f.sent
-	f.sent++
-	f.bytesSent += uint64(netSize)
+	src := f.ports[frame.Src]
+	dst := f.ports[frame.Dst]
+	if f.severCross && src.eng != dst.eng {
+		panic(fmt.Sprintf("fabric %s: frame %d->%d crosses severed shard boundary",
+			f.cfg.Name, frame.Src, frame.Dst))
+	}
+	n := src.sent
+	src.sent++
+	src.bytesSent += uint64(netSize)
 	var fd FaultDecision
 	if f.Fault != nil {
-		fd = f.Fault(frame, n)
+		fd = f.Fault(frame, n, src.eng.Now())
 	}
 	if f.Drop != nil && f.Drop(frame, n) {
 		fd.Drop = true
@@ -275,8 +405,8 @@ func (f *Fabric) Send(frame *Frame, onTxDone func()) {
 		// The wire still carries the frame to the point of loss; charge
 		// the sender's serialization but deliver nothing. The payload dies
 		// here — nobody downstream will release it.
-		f.dropped++
-		f.ports[frame.Src].up.Do(f.serTime(netSize), "fabric.tx.dropped", onTxDone)
+		src.dropped++
+		src.up.Do(f.serTime(netSize), "fabric.tx.dropped", onTxDone)
 		releasePayload(frame.Payload)
 		free(frame)
 		return
@@ -284,7 +414,7 @@ func (f *Fabric) Send(frame *Frame, onTxDone func()) {
 	if fd.Replace != nil {
 		// The corrupted clone (deep-copied headers) travels instead; the
 		// original frame and its payload are consumed here.
-		f.corrupted++
+		src.corrupted++
 		releasePayload(frame.Payload)
 		free(frame)
 		frame = fd.Replace
@@ -300,9 +430,9 @@ func (f *Fabric) Send(frame *Frame, onTxDone func()) {
 		frame.deliveries = 2
 		retainPayload(frame.Payload)
 	}
-	src := f.ports[frame.Src]
 	frame.fab = f
-	frame.dport = f.ports[frame.Dst]
+	frame.sport = src
+	frame.dport = dst
 	frame.onTx = onTxDone
 	frame.delay = fd.ExtraDelay
 	frame.ser = f.serTime(netSize)
@@ -314,7 +444,7 @@ func (f *Fabric) Send(frame *Frame, onTxDone func()) {
 }
 
 func (f *Fabric) deliver(p *port, frame *Frame) {
-	f.delivered++
+	p.delivered++
 	if p.handler != nil {
 		p.handler(frame)
 	} else {

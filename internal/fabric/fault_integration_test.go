@@ -34,7 +34,7 @@ func TestInjectorScriptedDrop(t *testing.T) {
 	count := 0
 	b := f.Attach(func(fr *fabric.Frame) { count++ })
 	inj := fault.NewInjector(fault.Plan{DropFrames: []uint64{1}})
-	inj.Attach(eng, f)
+	inj.Attach(f)
 	txDones := 0
 	for i := 0; i < 3; i++ {
 		f.Send(&fabric.Frame{Src: a, Dst: b, WireSize: 100}, func() { txDones++ })
@@ -61,7 +61,7 @@ func TestInjectorDuplication(t *testing.T) {
 	a := f.Attach(nil)
 	var arrivals []sim.Time
 	b := f.Attach(func(fr *fabric.Frame) { arrivals = append(arrivals, eng.Now()) })
-	fault.NewInjector(fault.Plan{Seed: 3, DupProb: 1}).Attach(eng, f)
+	fault.NewInjector(fault.Plan{Seed: 3, DupProb: 1}).Attach(f)
 	f.Send(&fabric.Frame{Src: a, Dst: b, WireSize: 1000}, nil)
 	eng.Run()
 	if len(arrivals) != 2 {
@@ -85,7 +85,7 @@ func TestInjectorExtraDelay(t *testing.T) {
 		var at sim.Time
 		b := f.Attach(func(fr *fabric.Frame) { at = eng.Now() })
 		if extra > 0 {
-			fault.NewInjector(fault.Plan{Seed: 4, DelayProb: 1, MaxExtraDelay: extra}).Attach(eng, f)
+			fault.NewInjector(fault.Plan{Seed: 4, DelayProb: 1, MaxExtraDelay: extra}).Attach(f)
 		}
 		f.Send(&fabric.Frame{Src: a, Dst: b, WireSize: 500}, nil)
 		eng.Run()
@@ -105,7 +105,7 @@ func TestInjectorCorruptionReplacesClone(t *testing.T) {
 	a := f.Attach(nil)
 	var got *wire.Packet
 	b := f.Attach(func(fr *fabric.Frame) { got = fr.Payload.(*wire.Packet) })
-	fault.NewInjector(fault.Plan{Seed: 5, CorruptProb: 1, CorruptBits: 1}).Attach(eng, f)
+	fault.NewInjector(fault.Plan{Seed: 5, CorruptProb: 1, CorruptBits: 1}).Attach(f)
 
 	ip := make([]byte, 40)
 	l4 := make([]byte, 20)
@@ -142,7 +142,7 @@ func TestInjectorFlapWindow(t *testing.T) {
 	count := 0
 	b := f.Attach(func(fr *fabric.Frame) { count++ })
 	inj := fault.NewInjector(fault.Plan{Flaps: []fault.Flap{{Port: b, From: 1000, To: 2000}}})
-	inj.Attach(eng, f)
+	inj.Attach(f)
 	send := func(at sim.Time) {
 		eng.At(at, "send", func() {
 			f.Send(&fabric.Frame{Src: a, Dst: b, WireSize: 64}, nil)
@@ -168,7 +168,7 @@ func TestLegacyDropAdapterComposes(t *testing.T) {
 	a := f.Attach(nil)
 	count := 0
 	b := f.Attach(func(fr *fabric.Frame) { count++ })
-	fault.NewInjector(fault.Plan{DropFrames: []uint64{0}}).Attach(eng, f)
+	fault.NewInjector(fault.Plan{DropFrames: []uint64{0}}).Attach(f)
 	f.Drop = func(fr *fabric.Frame, n uint64) bool { return n == 2 }
 	for i := 0; i < 4; i++ {
 		f.Send(&fabric.Frame{Src: a, Dst: b, WireSize: 64}, nil)

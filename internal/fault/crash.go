@@ -76,6 +76,25 @@ func (p *Plan) partitioned(now sim.Time, src, dst int) bool {
 // produce identical trace strings. Entries are scheduled in (At, Node)
 // order so coincident crashes fire deterministically.
 func (in *Injector) ScheduleCrashes(eng *sim.Engine, targets ...Rebootable) {
+	engs := make([]*sim.Engine, len(targets))
+	for i := range engs {
+		engs[i] = eng
+	}
+	in.ScheduleCrashesOn(engs, targets...)
+}
+
+// ScheduleCrashesOn is ScheduleCrashes with one engine per target: each
+// node's crash and restart events run on that node's shard engine, and the
+// log entries land in that node's private crash lane — so a sharded run
+// reboots adapters at the same instants, in the same canonical trace order,
+// as the sequential run.
+func (in *Injector) ScheduleCrashesOn(engs []*sim.Engine, targets ...Rebootable) {
+	if len(engs) != len(targets) {
+		panic("fault: ScheduleCrashesOn needs one engine per target")
+	}
+	if len(targets) > 0 {
+		in.crashLane(len(targets) - 1) // presize: no lane growth once shards run
+	}
 	crashes := append([]Crash(nil), in.plan.Crashes...)
 	sort.Slice(crashes, func(i, j int) bool {
 		if crashes[i].At != crashes[j].At {
@@ -88,14 +107,16 @@ func (in *Injector) ScheduleCrashes(eng *sim.Engine, targets ...Rebootable) {
 			continue
 		}
 		t := targets[c.Node]
+		eng := engs[c.Node]
 		node := c.Node
 		down := c.Down
 		eng.At(c.At, "fault.crash", func() {
-			in.stats.Crashes++
-			in.log = append(in.log, Event{At: eng.Now(), Src: node, Dst: node, Kind: "crash"})
+			ln := &in.crashLanes[node]
+			ln.stats.Crashes++
+			ln.log = append(ln.log, Event{At: eng.Now(), Src: node, Dst: node, Kind: "crash"})
 			t.Crash()
 			eng.After(down, "fault.restart", func() {
-				in.log = append(in.log, Event{At: eng.Now(), Src: node, Dst: node, Kind: "restart"})
+				ln.log = append(ln.log, Event{At: eng.Now(), Src: node, Dst: node, Kind: "restart"})
 				t.Restart()
 			})
 		})

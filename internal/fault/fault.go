@@ -22,6 +22,7 @@ package fault
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/buf"
@@ -119,12 +120,29 @@ type Stats struct {
 	PartitionDrops, Crashes                  uint64
 }
 
-// Injector applies a Plan to frames. It is attached to a fabric with
-// Attach, or driven directly through Decide by pure-protocol harnesses.
-type Injector struct {
-	plan  Plan
+// lane is one source's private fault record. Frame lanes are indexed by
+// source attachment, crash lanes by node — each written only from that
+// source's (or node's) shard engine, so sharded runs never share a lane.
+type lane struct {
 	stats Stats
 	log   []Event
+}
+
+// Injector applies a Plan to frames. It is attached to a fabric with
+// Attach, or driven directly through Decide by pure-protocol harnesses.
+//
+// All mutable state is partitioned into per-source lanes: frame ordinals,
+// the decision RNG stream, statistics, and the event log are all keyed by
+// the sending attachment. That makes every decision a pure function of
+// (Plan, src, per-src ordinal, send time) — independent of how frames from
+// different sources interleave — which is what lets a sharded run (sources
+// advancing concurrently) reproduce the sequential run's fault sequence
+// exactly. Events and TraceString present the lanes merged into one
+// canonical order.
+type Injector struct {
+	plan       Plan
+	frameLanes []lane // indexed by source attachment
+	crashLanes []lane // indexed by crash target node
 }
 
 // NewInjector builds an injector for plan.
@@ -138,17 +156,80 @@ func NewInjector(plan Plan) *Injector {
 // Plan returns the injector's plan.
 func (in *Injector) Plan() Plan { return in.plan }
 
-// Stats reports applied-fault counts.
-func (in *Injector) Stats() Stats { return in.stats }
+// frameLane returns src's lane, growing the table as needed. Growth only
+// happens single-threaded (harness use, or Attach presizing before the
+// run); during a sharded run every lane already exists.
+func (in *Injector) frameLane(src int) *lane {
+	for src >= len(in.frameLanes) {
+		in.frameLanes = append(in.frameLanes, lane{})
+	}
+	return &in.frameLanes[src]
+}
 
-// Events returns the applied-fault log in application order.
-func (in *Injector) Events() []Event { return in.log }
+func (in *Injector) crashLane(node int) *lane {
+	for node >= len(in.crashLanes) {
+		in.crashLanes = append(in.crashLanes, lane{})
+	}
+	return &in.crashLanes[node]
+}
+
+// Stats reports applied-fault counts, summed over lanes.
+func (in *Injector) Stats() Stats {
+	var s Stats
+	for _, set := range [][]lane{in.frameLanes, in.crashLanes} {
+		for i := range set {
+			l := &set[i].stats
+			s.Drops += l.Drops
+			s.FlapDrops += l.FlapDrops
+			s.Corrupts += l.Corrupts
+			s.Dups += l.Dups
+			s.Delays += l.Delays
+			s.PartitionDrops += l.PartitionDrops
+			s.Crashes += l.Crashes
+		}
+	}
+	return s
+}
+
+// eventClass separates frame-lane kinds from crash-lane kinds so the
+// canonical merge has a total order even when a node's crash coincides with
+// one of its frames.
+func eventClass(kind string) int {
+	if kind == "crash" || kind == "restart" {
+		return 1
+	}
+	return 0
+}
+
+// Events returns the applied-fault log in canonical order: sorted by
+// (time, source, kind class), with each lane's internal order preserved.
+// The canonical order is a pure function of the per-lane logs, so
+// sequential and sharded runs of the same plan render identical traces.
+func (in *Injector) Events() []Event {
+	var all []Event
+	for _, set := range [][]lane{in.frameLanes, in.crashLanes} {
+		for i := range set {
+			all = append(all, set[i].log...)
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].At != all[j].At {
+			return all[i].At < all[j].At
+		}
+		if all[i].Src != all[j].Src {
+			return all[i].Src < all[j].Src
+		}
+		return eventClass(all[i].Kind) < eventClass(all[j].Kind)
+	})
+	return all
+}
 
 // TraceString renders the fault log, one event per line — two runs of the
-// same seeded simulation must produce byte-identical trace strings.
+// same seeded simulation must produce byte-identical trace strings,
+// regardless of shard count.
 func (in *Injector) TraceString() string {
 	var b strings.Builder
-	for _, e := range in.log {
+	for _, e := range in.Events() {
 		b.WriteString(e.String())
 		b.WriteByte('\n')
 	}
@@ -172,6 +253,12 @@ func frameRNG(seed, n uint64) uint64 {
 	s := seed ^ (n+1)*0x9e3779b97f4a7c15
 	splitmix64(&s)
 	return s
+}
+
+// laneSeed decorrelates the per-source decision streams: frame n from
+// source 2 must not suffer the same faults as frame n from source 3.
+func laneSeed(seed uint64, src int) uint64 {
+	return seed ^ (uint64(src)+1)*0x9e3779b97f4a7c15
 }
 
 // roll returns a uniform float64 in [0, 1).
@@ -200,38 +287,42 @@ func (p *Plan) flapped(now sim.Time, src, dst int) bool {
 }
 
 // Decide computes the fault decision for frame ordinal n sent at time now
-// between attachments src and dst. corruptible is the number of bytes bit
-// flips may land in (0 disables corruption for this frame). Each decision
-// is logged; Decide must be called at most once per frame ordinal.
+// between attachments src and dst. The ordinal counts frames from THIS
+// source (per-source, matching the fabric's per-port counters), so the
+// decision stream of one source is untouched by traffic on others.
+// corruptible is the number of bytes bit flips may land in (0 disables
+// corruption for this frame). Each decision is logged in src's lane;
+// Decide must be called at most once per (src, n).
 func (in *Injector) Decide(n uint64, now sim.Time, src, dst int, corruptible int) Decision {
 	p := &in.plan
+	ln := in.frameLane(src)
 	var d Decision
 	note := func(kind string, arg int64) {
-		in.log = append(in.log, Event{N: n, At: now, Src: src, Dst: dst, Kind: kind, Arg: arg})
+		ln.log = append(ln.log, Event{N: n, At: now, Src: src, Dst: dst, Kind: kind, Arg: arg})
 	}
 	// Scheduled and patterned faults fire regardless of SkipFirst.
 	if p.flapped(now, src, dst) {
 		d.Drop, d.Flapped = true, true
-		in.stats.FlapDrops++
+		ln.stats.FlapDrops++
 		note("flap", 0)
 		return d
 	}
 	if p.partitioned(now, src, dst) {
 		d.Drop, d.Flapped = true, true
-		in.stats.PartitionDrops++
+		ln.stats.PartitionDrops++
 		note("partition", 0)
 		return d
 	}
 	if p.DropEvery > 0 && (n+1)%p.DropEvery == 0 {
 		d.Drop = true
-		in.stats.Drops++
+		ln.stats.Drops++
 		note("drop", 0)
 		return d
 	}
 	for _, fn := range p.DropFrames {
 		if fn == n {
 			d.Drop = true
-			in.stats.Drops++
+			ln.stats.Drops++
 			note("drop", 0)
 			return d
 		}
@@ -239,10 +330,10 @@ func (in *Injector) Decide(n uint64, now sim.Time, src, dst int, corruptible int
 	if n < p.SkipFirst {
 		return d
 	}
-	rng := frameRNG(p.Seed, n)
+	rng := frameRNG(laneSeed(p.Seed, src), n)
 	if p.DropProb > 0 && roll(&rng) < p.DropProb {
 		d.Drop = true
-		in.stats.Drops++
+		ln.stats.Drops++
 		note("drop", 0)
 		return d
 	}
@@ -250,28 +341,34 @@ func (in *Injector) Decide(n uint64, now sim.Time, src, dst int, corruptible int
 		for i := 0; i < p.CorruptBits; i++ {
 			bit := intn(&rng, corruptible*8)
 			d.CorruptBits = append(d.CorruptBits, bit)
-			in.stats.Corrupts++
+			ln.stats.Corrupts++
 			note("corrupt", int64(bit))
 		}
 	}
 	if p.DupProb > 0 && roll(&rng) < p.DupProb {
 		d.Duplicate = true
-		in.stats.Dups++
+		ln.stats.Dups++
 		note("dup", 0)
 	}
 	if p.DelayProb > 0 && p.MaxExtraDelay > 0 && roll(&rng) < p.DelayProb {
 		d.ExtraDelay = sim.Time(intn(&rng, int(p.MaxExtraDelay))) + 1
-		in.stats.Delays++
+		ln.stats.Delays++
 		note("delay", int64(d.ExtraDelay))
 	}
 	return d
 }
 
-// Attach installs the injector as fab's fault hook. eng supplies the
-// current time for flap windows.
-func (in *Injector) Attach(eng *sim.Engine, fab *fabric.Fabric) {
-	fab.Fault = func(fr *fabric.Frame, n uint64) fabric.FaultDecision {
-		return in.Apply(fr, n, eng.Now())
+// Attach installs the injector as fab's fault hook. The fabric supplies
+// the frame's per-source ordinal and the sending engine's clock (flap and
+// partition windows are evaluated against the source shard's time). Lanes
+// are presized for every existing attachment so a sharded run never grows
+// the lane table concurrently.
+func (in *Injector) Attach(fab *fabric.Fabric) {
+	if fab.Ports() > 0 {
+		in.frameLane(fab.Ports() - 1)
+	}
+	fab.Fault = func(fr *fabric.Frame, n uint64, now sim.Time) fabric.FaultDecision {
+		return in.Apply(fr, n, now)
 	}
 }
 

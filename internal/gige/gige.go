@@ -49,7 +49,7 @@ func New(eng *sim.Engine, k *hostos.Kernel, fab *fabric.Fabric, cfg Config) *Dev
 		cfg.CoalesceDelay = params.GigEIntCoalesceDelay
 	}
 	d := &Device{cfg: cfg, eng: eng, k: k, bus: k.Bus(), fab: fab}
-	d.att = fab.Attach(d.receive)
+	d.att = fab.AttachOn(eng, d.receive)
 	d.rx = hostos.NewRxCoalescer(k, cfg.Name, cfg.CoalescePkts, cfg.CoalesceDelay)
 	return d
 }

@@ -77,7 +77,7 @@ func New(eng *sim.Engine, k *hostos.Kernel, fab *fabric.Fabric, cfg Config) *Dev
 		fab:   fab,
 		lanai: sim.NewCPU(eng, cfg.Name+".lanai", params.NICClockHz),
 	}
-	d.att = fab.Attach(d.receive)
+	d.att = fab.AttachOn(eng, d.receive)
 	d.rx = hostos.NewRxCoalescer(k, cfg.Name, cfg.CoalescePkts, cfg.CoalesceDelay)
 	return d
 }

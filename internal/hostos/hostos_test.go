@@ -399,7 +399,7 @@ func TestRetransmissionRecoversOnLossyFabric(t *testing.T) {
 		PropDelay:    params.CableLatency,
 	})
 	inj := fault.NewInjector(fault.Plan{DropEvery: 50})
-	inj.Attach(eng, fab)
+	inj.Attach(fab)
 	var kernels [2]*hostos.Kernel
 	var devs [2]*gige.Device
 	for i := 0; i < 2; i++ {

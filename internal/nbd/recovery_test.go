@@ -45,7 +45,7 @@ func runRecoveryChaos(t *testing.T, plan fault.Plan, total int) chaosOutcome {
 	}
 
 	inj := fault.NewInjector(plan)
-	inj.Attach(c.Eng, c.Myrinet)
+	inj.Attach(c.Myrinet)
 	inj.ScheduleCrashes(c.Eng, c.Nodes[0].QPIP, c.Nodes[1].QPIP)
 
 	c.Spawn("server", func(p *sim.Proc) {

@@ -210,6 +210,7 @@ type NIC struct {
 	fab *fabric.Fabric
 	att int
 
+	qpnNext   uint32
 	qps       map[uint32]*qpState
 	tcpConns  map[tcpKey]*qpState
 	listeners map[uint16]*verbs.Listener
@@ -277,7 +278,7 @@ func New(eng *sim.Engine, fab *fabric.Fabric, cfg Config) *NIC {
 		n.txBusy = false
 		n.kickTx()
 	}
-	n.att = fab.Attach(n.receiveFrame)
+	n.att = fab.AttachOn(eng, n.receiveFrame)
 	n.db.OnRing = n.onDoorbell
 	n.db.OnDrop = func() { n.Net.Add("db.drop", 1) }
 	return n
@@ -415,6 +416,16 @@ func (n *NIC) admitQP(qp *verbs.QP) error {
 	}
 	n.qps[qp.QPN] = qs
 	return nil
+}
+
+// AllocQPN implements verbs.Device: per-adapter allocation, offset by the
+// fabric attachment id so QPNs stay cluster-unique and deterministic no
+// matter how shard engines interleave QP creation. Low QPNs are reserved,
+// as in Infiniband; the counter survives crashes (a rebooted adapter never
+// reissues a pre-crash QPN).
+func (n *NIC) AllocQPN() uint32 {
+	n.qpnNext++
+	return uint32(n.att)<<16 | (16 + n.qpnNext)
 }
 
 // CreateQP implements verbs.Device. The state table lives in finite

@@ -170,6 +170,7 @@ func (h *eventHeap) Pop() any {
 // The zero value is not usable; create engines with NewEngine.
 type Engine struct {
 	now     Time
+	lastAt  Time // timestamp of the most recently fired event
 	seq     uint64
 	fired   uint64
 	live    int // scheduled, not yet fired or cancelled
@@ -201,6 +202,25 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending reports the number of live events: scheduled but not yet fired or
 // cancelled.
 func (e *Engine) Pending() int { return e.live }
+
+// LastEventAt reports the timestamp of the most recently executed event
+// (zero if none has fired). Unlike Now, it is not advanced by RunUntil's
+// clock forcing, so it identifies "when the simulation last did work" — the
+// quantity that is comparable between a sequential run (where Now stops at
+// the final event) and an epoch-barrier parallel run (where RunUntil pushes
+// every shard clock to the barrier horizon).
+func (e *Engine) LastEventAt() Time { return e.lastAt }
+
+// NextAt reports the timestamp of the next live event without firing it.
+// It reports false when the queue is empty. Used by the conservative
+// parallel runner to compute the epoch horizon.
+func (e *Engine) NextAt() (Time, bool) {
+	ev, ok := e.peek()
+	if !ok {
+		return 0, false
+	}
+	return ev.at, true
+}
 
 // alloc hands out an event, reusing the free list in wheel mode.
 //
@@ -254,9 +274,26 @@ func (e *Engine) At(t Time, name string, fn func()) *Event {
 	// landing inside that span must join it (sorted; equal timestamps go
 	// after existing ones since the new seq is highest). Everything later
 	// goes to the wheel, which only holds times beyond the due horizon.
-	if n := len(e.due); n > e.dueHead && t <= e.due[n-1].at {
+	//
+	// The wheel cursor can sit ahead of the clock with an empty due buffer:
+	// peek pulls the next event (advancing the cursor to it) and RunUntil
+	// then breaks with the clock forced to an earlier horizon; if that
+	// parked event is cancelled and reaped, nothing due remains. The wheel
+	// never rescans slots behind its cursor, so any timestamp at or below
+	// the cursor must join the due buffer too.
+	n := len(e.due)
+	inDue := n > e.dueHead && t <= e.due[n-1].at
+	if !inDue && uint64(t) < e.wheel.cur {
+		inDue = true
+		if e.dueHead == n {
+			e.due = e.due[:0]
+			e.dueHead = 0
+			n = 0
+		}
+	}
+	if inDue {
 		ev.state = evDue
-		i := n
+		i := len(e.due)
 		for i > e.dueHead && e.due[i-1].at > t {
 			i--
 		}
@@ -331,6 +368,7 @@ func (e *Engine) step() bool {
 	}
 	ev.state = evFired
 	e.now = ev.at
+	e.lastAt = ev.at
 	e.fired++
 	e.live--
 	if ev.srv != nil {

@@ -55,9 +55,10 @@ type QPConfig struct {
 	SendDepth, RecvDepth int
 }
 
-var nextQPN uint32 = 16 // low QPNs reserved, as in Infiniband
-
-// NewQP creates a queue pair and registers it with the device.
+// NewQP creates a queue pair and registers it with the device. QPNs come
+// from the device (Device.AllocQPN), never from package state: a sharded
+// simulation creates QPs on different shard engines concurrently, and a
+// process-wide counter would make numbering an artifact of thread timing.
 func NewQP(dev Device, cfg QPConfig) (*QP, error) {
 	if cfg.SendCQ == nil || cfg.RecvCQ == nil {
 		return nil, fmt.Errorf("verbs: QP requires send and receive CQs")
@@ -68,9 +69,8 @@ func NewQP(dev Device, cfg QPConfig) (*QP, error) {
 	if cfg.RecvDepth <= 0 {
 		cfg.RecvDepth = 128
 	}
-	nextQPN++
 	qp := &QP{
-		QPN:       nextQPN,
+		QPN:       dev.AllocQPN(),
 		Transport: cfg.Transport,
 		SendCQ:    cfg.SendCQ,
 		RecvCQ:    cfg.RecvCQ,

@@ -234,6 +234,11 @@ type Device interface {
 	// MaxMessage reports the largest message a QP message may carry (one
 	// message maps to one TCP segment, so this is MTU-derived).
 	MaxMessage() int
+	// AllocQPN hands out the next queue pair number on this adapter.
+	// Allocation is per-device (deterministic regardless of what other
+	// adapters — possibly on other shard engines — are doing); low QPNs
+	// are reserved, as in Infiniband.
+	AllocQPN() uint32
 	// CreateQP registers a new QP with the adapter (management FSM).
 	CreateQP(qp *QP) error
 	// DestroyQP tears a QP down, flushing outstanding WRs.

@@ -21,6 +21,7 @@ type fakeDevice struct {
 	vectoredRecv int
 	cqs          int
 	connectErr   error
+	qpn          uint32
 }
 
 func newFake(eng *sim.Engine) *fakeDevice {
@@ -33,6 +34,7 @@ func newFake(eng *sim.Engine) *fakeDevice {
 
 func (d *fakeDevice) HostCPU() *sim.CPU  { return d.cpu }
 func (d *fakeDevice) MaxMessage() int    { return d.maxMsg }
+func (d *fakeDevice) AllocQPN() uint32   { d.qpn++; return 16 + d.qpn }
 func (d *fakeDevice) CreateQP(*QP) error { return nil }
 func (d *fakeDevice) DestroyQP(qp *QP)   { qp.Flush() }
 func (d *fakeDevice) ResetQP(*QP) error  { return nil }

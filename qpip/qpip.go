@@ -194,16 +194,18 @@ func FlapTrain(port int, start Time, downDur, upDur Time, n int) []Flap {
 func InjectFaults(c *Cluster, plan FaultPlan) *FaultInjector {
 	in := fault.NewInjector(plan)
 	if c.Myrinet != nil {
-		in.Attach(c.Eng, c.Myrinet)
+		in.Attach(c.Myrinet)
 	} else if c.Eth != nil {
-		in.Attach(c.Eng, c.Eth)
+		in.Attach(c.Eth)
 	}
 	if len(plan.Crashes) > 0 {
 		targets := make([]fault.Rebootable, len(c.Nodes))
+		engs := make([]*sim.Engine, len(c.Nodes))
 		for i, n := range c.Nodes {
 			targets[i] = n.QPIP
+			engs[i] = c.EngineOf(i)
 		}
-		in.ScheduleCrashes(c.Eng, targets...)
+		in.ScheduleCrashesOn(engs, targets...)
 	}
 	return in
 }
@@ -232,6 +234,24 @@ func NewCluster(n int, cfg NodeConfig) *Cluster { return core.NewCluster(n, cfg)
 // 16 KB MTU on a Myrinet fabric — the paper's primary configuration.
 func NewQPIPCluster(n int) *Cluster {
 	return core.NewCluster(n, core.NodeConfig{QPIP: true})
+}
+
+// ShardPlan partitions a cluster across parallel shard engines
+// (conservative parallel simulation, DESIGN §14). Runs are bit-identical
+// to the sequential engine for any shard count.
+type ShardPlan = core.ShardPlan
+
+// NewShardedCluster builds n nodes partitioned across plan.Shards engines;
+// Run drives them with the conservative parallel runner. Spawn workload
+// processes with Cluster.SpawnOn so each runs on its node's shard.
+func NewShardedCluster(n int, cfg NodeConfig, plan ShardPlan) *Cluster {
+	return core.NewShardedCluster(n, cfg, plan)
+}
+
+// NewShardedQPIPCluster is NewQPIPCluster across shards engines, nodes
+// assigned round-robin (node i on shard i%shards).
+func NewShardedQPIPCluster(n, shards int) *Cluster {
+	return core.NewShardedCluster(n, core.NodeConfig{QPIP: true}, core.ShardPlan{Shards: shards})
 }
 
 // NewReliableQP creates a reliable (TCP) QP on node with fresh send and

@@ -6,8 +6,13 @@
 # in as cmd/seedperf/main.go, and runs it. Prints one JSON object on
 # stdout:
 #
-#   {"config":"seed commit","wall_seconds":...,"events_fired":...,
-#    "events_per_sec":...,"sim_mbps":...}
+#   {"config":"seed commit","gomaxprocs":...,"shards":1,"wall_seconds":...,
+#    "events_fired":...,"events_per_sec":...,"sim_mbps":...}
+#
+# gomaxprocs/shards identify the machine parallelism the row was measured
+# under (the seed is always a single sequential engine, so shards is 1);
+# PerfReport rows carry the same two fields so any row in any BENCH_*.json
+# is comparable at a glance.
 #
 # Usage: scripts/bench_seed.sh [BYTES] [REPEATS]
 set -eu
