@@ -80,12 +80,16 @@ check: vet shadow lint staticcheck govulncheck race test chaos
 	$(GO) run ./cmd/qpipbench -exp perfguard -bytes 4194304
 	$(GO) test -race -count=1 -run 'TestParallel|TestRunPingPong|TestRunUntilLimit|TestFreeRun|TestShardPanic' ./qpip/ ./internal/sim/par/
 	$(GO) run ./cmd/qpipbench -exp scaleguard -bytes 4194304
+	$(GO) run ./cmd/qpipbench -exp collective -coll-nodes 2,8 -coll-iters 2 >/dev/null
+	$(GO) run ./cmd/qpipbench -exp collguard -coll-iters 2
 
 # Regenerate BENCH_PR4.json: microbenchmarks, the seed-commit baseline
 # (built from a throwaway worktree of the pre-PR tree), and the in-binary
 # A/B comparison with the seed measurement folded in. Then BENCH_PR7.json:
 # the parallel-scaling table (sequential baseline vs sharded placements,
-# events cross-checked identical, gomaxprocs recorded per row).
+# events cross-checked identical, gomaxprocs recorded per row). Then
+# BENCH_PR8.json: the collectives sweep (host-based vs NIC-offloaded
+# barrier and ring allreduce across ring/mesh/fat-tree topologies).
 bench: microbench
 	scripts/bench_seed.sh $(BENCH_BYTES) $(BENCH_REPEATS) > /tmp/seed_baseline.json
 	$(GO) run ./cmd/qpipbench -exp perf -bytes $(BENCH_BYTES) \
@@ -93,6 +97,7 @@ bench: microbench
 		-seed-json /tmp/seed_baseline.json -json BENCH_PR4.json
 	$(GO) run ./cmd/qpipbench -exp perfscale -bytes 8388608 \
 		-perf-repeats $(BENCH_REPEATS) -json BENCH_PR7.json
+	$(GO) run ./cmd/qpipbench -exp collective -json BENCH_PR8.json
 
 microbench:
 	$(GO) test -bench=. -benchmem ./internal/sim/ ./internal/tcp/ ./internal/fabric/

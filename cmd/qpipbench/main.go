@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	qpipbench [-exp all|fig3|fig4|table1|table2|table3|fig7|chaos|recovery|ablations|irq|perf|perfguard|perfscale|scaleguard]
+//	qpipbench [-exp all|fig3|fig4|table1|table2|table3|fig7|chaos|recovery|ablations|irq|perf|perfguard|perfscale|scaleguard|collective|collguard]
 //	          [-bytes N] [-nbd-bytes N] [-iters N] [-full]
 //	          [-parallel N] [-shards N] [-pairs N]
+//	          [-coll-nodes LIST] [-coll-iters N] [-vec-words N]
 //	          [-cpuprofile FILE] [-memprofile FILE]
 //	          [-json FILE] [-seed-json FILE] [-perf-repeats N]
 //
@@ -28,6 +29,14 @@
 // scaleguard is the CI gate form: it checks sharded runs fire the exact
 // sequential event count and meet the wall-clock bound the host's core
 // count can express, exiting nonzero on failure.
+//
+// -exp collective sweeps collective operations (barrier, ring allreduce)
+// over switched topologies (-coll-nodes group sizes on ring, mesh and
+// fat-tree fabrics), comparing the host-based reference over plain QPs
+// against the NIC-offloaded engine; with -json it writes the
+// machine-readable report (BENCH_PR8.json). -exp collguard is the CI
+// gate: at 8 nodes the offloaded barrier must beat the host-based one in
+// simulated latency and host CPU on every topology, else exit nonzero.
 package main
 
 import (
@@ -36,12 +45,14 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"repro/internal/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig3, fig4, table1, table2, table3, fig7, chaos, recovery, ablations, irq, perf, perfguard, perfscale, scaleguard")
+	exp := flag.String("exp", "all", "experiment: all, fig3, fig4, table1, table2, table3, fig7, chaos, recovery, ablations, irq, perf, perfguard, perfscale, scaleguard, collective, collguard")
 	bytes := flag.Int("bytes", 4<<20, "ttcp transfer size in bytes")
 	nbdBytes := flag.Int("nbd-bytes", 64<<20, "NBD benchmark size in bytes")
 	iters := flag.Int("iters", 50, "ping-pong iterations for latency experiments")
@@ -54,6 +65,9 @@ func main() {
 	perfRepeats := flag.Int("perf-repeats", 3, "ttcp repetitions per config in -exp perf (best-of)")
 	shards := flag.Int("shards", 4, "max shard engines in -exp perfscale/scaleguard")
 	pairs := flag.Int("pairs", 4, "communicating node pairs in -exp perfscale/scaleguard")
+	collNodes := flag.String("coll-nodes", "2,8,32,128", "comma-separated group sizes for -exp collective")
+	collIters := flag.Int("coll-iters", 4, "timed operations per point in -exp collective/collguard")
+	vecWords := flag.Int("vec-words", 64, "allreduce vector length in 64-bit words for -exp collective")
 	flag.Parse()
 
 	if *full {
@@ -200,9 +214,57 @@ func main() {
 		}
 	}
 
+	// collective sweeps large clusters (up to 128 nodes per point); like
+	// perfscale it is excluded from -exp all.
+	if *exp == "collective" {
+		ran = true
+		nodes, err := parseNodeList(*collNodes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-coll-nodes: %v\n", err)
+			os.Exit(2)
+		}
+		rep := bench.Collective(nodes, *collIters, *vecWords)
+		fmt.Print(bench.RenderCollective(rep))
+		if *jsonPath != "" {
+			if err := bench.WriteCollJSON(*jsonPath, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+	}
+	if *exp == "collguard" {
+		ran = true
+		report, ok := bench.CollectiveGuard(*collIters)
+		fmt.Print(report)
+		if !ok {
+			os.Exit(1)
+		}
+	}
+
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// parseNodeList parses a comma-separated list of positive group sizes.
+func parseNodeList(s string) ([]int, error) {
+	var nodes []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad group size %q", part)
+		}
+		nodes = append(nodes, n)
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return nodes, nil
 }

@@ -184,6 +184,7 @@ var simulatedSuffixes = []string{
 	"internal/udp",
 	"internal/inet",
 	"internal/fabric",
+	"internal/topo",
 	"internal/qpipnic",
 	"internal/verbs",
 	"internal/hw",

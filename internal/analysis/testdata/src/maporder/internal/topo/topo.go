@@ -1,0 +1,63 @@
+// Package topo stands in for the switch-graph package: its import path
+// ends in internal/topo, so maporder applies the simulated-package
+// invariants to it. The real package keeps adjacency in slices indexed
+// by port number precisely so no routing or arbitration decision can
+// observe Go's randomized map order; this fixture pins both the illegal
+// map-walk shape and the legal slice-walk shape.
+package topo
+
+import "sort"
+
+type port struct{ busy bool }
+
+// Send is order-sensitive by name and in fact: emitting a frame from a
+// port makes the emission sequence observable in the trace.
+func (p *port) Send() { p.busy = true }
+
+type swtch struct {
+	// ports is the real package's idiom: adjacency in a slice, walked in
+	// index order.
+	ports []*port
+}
+
+// flushByMap walks a switch table keyed by switch ID: the map's random
+// iteration order decides which switch emits first — the classic
+// nondeterminism the real package exists to avoid.
+func flushByMap(sws map[int]*swtch) {
+	for _, sw := range sws {
+		for _, p := range sw.ports {
+			p.Send() // want `calls order-sensitive Send`
+		}
+	}
+}
+
+// neighborsUnsorted leaks map order into the route the caller walks.
+func neighborsUnsorted(adj map[int][]int, at int) []int {
+	var hops []int
+	for next := range adj {
+		hops = append(hops, next) // want `appends to hops \(declared outside the loop, never sorted\)`
+	}
+	_ = at
+	return hops
+}
+
+// flushBySlice is the real package's shape — adjacency in slices, walked
+// in port-index order — and must stay legal.
+func flushBySlice(sws []*swtch) {
+	for _, sw := range sws {
+		for _, p := range sw.ports {
+			p.Send()
+		}
+	}
+}
+
+// switchIDsSorted is the canonical collect-then-sort escape hatch for a
+// map-keyed table and must stay legal.
+func switchIDsSorted(sws map[int]*swtch) []int {
+	ids := make([]int, 0, len(sws))
+	for id := range sws {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}

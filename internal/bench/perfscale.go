@@ -43,6 +43,11 @@ type ScaleRow struct {
 	// EventsMatch records the cheap bit-identity cross-check: the sharded
 	// run fired exactly as many events as the sequential one.
 	EventsMatch bool `json:"events_match_sequential"`
+	// Underprovisioned flags rows where the host has fewer cores than the
+	// row has shards: wall-clock speedup is then bounded by the core
+	// count, not the sharding, and the number should not be read as the
+	// simulator's scaling limit.
+	Underprovisioned bool `json:"underprovisioned"`
 }
 
 // ScaleReport is the whole parallel-scaling comparison.
@@ -226,6 +231,7 @@ func Perfscale(pairs, maxShards, bytesPerPair, repeats int) ScaleReport {
 	add := func(row ScaleRow) {
 		row.SpeedupWall = seq.WallSeconds / row.WallSeconds
 		row.EventsMatch = row.Events == seq.Events
+		row.Underprovisioned = rep.NumCPU < row.Shards
 		rep.Rows = append(rep.Rows, row)
 	}
 	for s := 1; s <= maxShards; s *= 2 {
@@ -246,10 +252,20 @@ func RenderPerfscale(r ScaleReport) string {
 		r.GOMAXPROCS, r.NumCPU)
 	fmt.Fprintf(&b, "%-12s %7s %11s %10s %14s %14s %9s %7s\n",
 		"placement", "shards", "gomaxprocs", "wall (s)", "events", "events/s", "speedup", "ident")
+	warned := false
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%-12s %7d %11d %10.3f %14d %14.0f %8.2fx %7v\n",
+		note := ""
+		if row.Underprovisioned {
+			note = "  (underprovisioned)"
+			warned = true
+		}
+		fmt.Fprintf(&b, "%-12s %7d %11d %10.3f %14d %14.0f %8.2fx %7v%s\n",
 			row.Placement, row.Shards, row.Gomaxprocs, row.WallSeconds,
-			row.Events, row.EventsPerSec, row.SpeedupWall, row.EventsMatch)
+			row.Events, row.EventsPerSec, row.SpeedupWall, row.EventsMatch, note)
+	}
+	if warned {
+		fmt.Fprintf(&b, "WARNING: host has %d CPU(s) — rows with more shards than cores measure scheduler overhead, not simulator scaling\n",
+			r.NumCPU)
 	}
 	return b.String()
 }
@@ -308,8 +324,12 @@ func PerfscaleGuard(pairs, shards, bytesPerPair int) (string, bool) {
 			ok = false
 			verdict = "FAIL"
 		}
-		fmt.Fprintf(&b, "%s %s/%d shards (effective cores %d): %.2fx vs sequential (need %.2fx)\n",
-			verdict, row.Placement, row.Shards, effective, row.SpeedupWall, need)
+		note := ""
+		if row.Underprovisioned {
+			note = " [WARNING: underprovisioned — fewer cores than shards]"
+		}
+		fmt.Fprintf(&b, "%s %s/%d shards (effective cores %d): %.2fx vs sequential (need %.2fx)%s\n",
+			verdict, row.Placement, row.Shards, effective, row.SpeedupWall, need, note)
 	}
 	fmt.Fprintf(&b, "%s\n", map[bool]string{true: "PASS", false: "FAIL"}[ok])
 	return b.String(), ok

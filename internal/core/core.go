@@ -17,12 +17,17 @@ import (
 	"repro/internal/qpipnic"
 	"repro/internal/sim"
 	"repro/internal/sim/par"
+	"repro/internal/topo"
 )
 
 // NodeConfig selects the adapters a node carries.
 type NodeConfig struct {
 	// QPIP attaches a QPIP adapter (implies the Myrinet fabric).
 	QPIP bool
+	// Topology selects the Myrinet fabric's switch graph (internal/topo).
+	// The zero value keeps the legacy single-star fast path; topo.Star
+	// models the same star through the explicit multi-hop machinery.
+	Topology topo.Spec
 	// QPIPMTU is the QPIP native MTU (default 16 KB, paper §4.2.1).
 	QPIPMTU int
 	// QPIPChecksum selects receive checksum placement.
@@ -143,6 +148,10 @@ func newCluster(n int, cfg NodeConfig, plan ShardPlan, sharded bool) *Cluster {
 	eng := c.Eng
 	needMyri := cfg.QPIP || cfg.GM
 	if needMyri {
+		var g *topo.Graph
+		if cfg.Topology.Kind != topo.None {
+			g = topo.Build(cfg.Topology, n)
+		}
 		c.Myrinet = fabric.New(eng, fabric.Config{
 			Name:         "myri",
 			Bandwidth:    params.MyrinetBandwidth,
@@ -150,6 +159,7 @@ func newCluster(n int, cfg NodeConfig, plan ShardPlan, sharded bool) *Cluster {
 			CutThrough:   true,
 			HopLatency:   params.MyrinetHopLatency,
 			PropDelay:    params.CableLatency,
+			Topo:         g,
 		})
 	}
 	if cfg.GigE {

@@ -3,11 +3,14 @@
 // 2.0 Gb/s full-duplex links — paper §4.1) and a Gigabit Ethernet segment
 // with a store-and-forward switch.
 //
-// Topology is a single star: every attachment connects to one switch with
-// a dedicated full-duplex link, matching the two-node-plus-switch testbed.
-// Each direction of each link is a sim.Server, so serialization time and
-// link contention are modeled; cut-through versus store-and-forward decides
-// whether the switch re-serializes the frame.
+// Topology defaults to a single star: every attachment connects to one
+// switch with a dedicated full-duplex link, matching the paper's
+// two-node-plus-switch testbed. Each direction of each link is a
+// sim.Server, so serialization time and link contention are modeled;
+// cut-through versus store-and-forward decides whether the switch
+// re-serializes the frame. Config.Topo replaces the star with an explicit
+// switch graph (internal/topo) walked hop by hop with per-egress
+// arbitration — see topofab.go.
 package fabric
 
 import (
@@ -16,6 +19,7 @@ import (
 
 	"repro/internal/pool"
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 // Frame is a link-layer frame in flight. Payload is opaque to the fabric.
@@ -47,6 +51,14 @@ type Frame struct {
 	swFn   func() // store-and-forward: switch forwards onto the dst link
 	fwdFn  func() // store-and-forward: dst link serialization finished
 	dlvrFn func() // final delivery to the attachment handler
+
+	// Multi-hop transit state (Config.Topo set): the source route and
+	// the frame's progress along it, plus the topology-path
+	// continuations (bound once, like the star-path ones above).
+	hops   []topo.Hop
+	hop    int
+	ttxFn  func() // topology path: transmitter finished
+	tarrFn func() // topology path: arrival at hops[hop]'s switch
 }
 
 // bindFns builds the frame's transit continuations (once per frame object;
@@ -152,6 +164,7 @@ func NewFrame(src, dst, wireSize int, payload any) *Frame {
 	*fr = Frame{
 		Src: src, Dst: dst, WireSize: wireSize, Payload: payload, pooled: true,
 		txFn: fr.txFn, swFn: fr.swFn, fwdFn: fr.fwdFn, dlvrFn: fr.dlvrFn,
+		ttxFn: fr.ttxFn, tarrFn: fr.tarrFn,
 	}
 	return fr
 }
@@ -163,7 +176,8 @@ func free(fr *Frame) {
 		return
 	}
 	txFn, swFn, fwdFn, dlvrFn := fr.txFn, fr.swFn, fr.fwdFn, fr.dlvrFn
-	*fr = Frame{txFn: txFn, swFn: swFn, fwdFn: fwdFn, dlvrFn: dlvrFn}
+	ttxFn, tarrFn := fr.ttxFn, fr.tarrFn
+	*fr = Frame{txFn: txFn, swFn: swFn, fwdFn: fwdFn, dlvrFn: dlvrFn, ttxFn: ttxFn, tarrFn: tarrFn}
 	framePool.Put(fr)
 }
 
@@ -236,6 +250,10 @@ type Config struct {
 	HopLatency sim.Time
 	// PropDelay is total cable propagation.
 	PropDelay sim.Time
+	// Topo, when non-nil, replaces the single-star fast path with
+	// hop-by-hop forwarding over the switch graph (topofab.go).
+	// Requires CutThrough.
+	Topo *topo.Graph
 }
 
 // Fabric is a star-topology switched network.
@@ -256,12 +274,19 @@ type Fabric struct {
 	// engines: cross-shard sends panic, and CrossShardLookahead reports no
 	// cross links so the parallel runner skips epoch barriers entirely.
 	severCross bool
+
+	// sws is the per-switch arbitration state for the multi-hop path,
+	// built lazily once all attachments exist (topofab.go).
+	sws []*swState
 }
 
 // New builds an empty fabric on eng.
 func New(eng *sim.Engine, cfg Config) *Fabric {
 	if cfg.Bandwidth <= 0 {
 		panic("fabric: bandwidth must be positive")
+	}
+	if cfg.Topo != nil && !cfg.CutThrough {
+		panic("fabric: topology routing is modeled for cut-through fabrics only")
 	}
 	return &Fabric{eng: eng, cfg: cfg}
 }
@@ -303,6 +328,12 @@ func (f *Fabric) CrossShardLookahead() (sim.Time, bool) {
 	if f.severCross {
 		return 0, false
 	}
+	if f.cfg.Topo != nil {
+		// The graph may cross engines through switch homes even when all
+		// endpoints share one (a spine homed elsewhere), so the edge scan
+		// replaces the port-pair scan entirely.
+		return f.topoLookahead()
+	}
 	cross := false
 	for i, pi := range f.ports {
 		for _, pj := range f.ports[i+1:] {
@@ -337,6 +368,19 @@ func (f *Fabric) DrainMailboxes() int {
 		}
 		total += len(p.outbox)
 		p.outbox = p.outbox[:0]
+	}
+	// Multi-hop path: switch egress outboxes drain after the endpoint
+	// ports', switches ascending, ports ascending — still canonical.
+	for _, sw := range f.sws {
+		for _, op := range sw.ports {
+			for i := range op.outbox {
+				m := &op.outbox[i]
+				m.eng.At(m.at, m.name, m.fn)
+				m.fn = nil
+			}
+			total += len(op.outbox)
+			op.outbox = op.outbox[:0]
+		}
 	}
 	return total
 }
@@ -422,6 +466,7 @@ func (f *Fabric) Send(frame *Frame, onTxDone func()) {
 		// A struct-copied clone carries the original's bound continuations,
 		// which capture the original (now freed) frame; rebind below.
 		frame.txFn, frame.swFn, frame.fwdFn, frame.dlvrFn = nil, nil, nil, nil
+		frame.ttxFn, frame.tarrFn = nil, nil
 	}
 	frame.deliveries = 1
 	if fd.Duplicate {
@@ -437,6 +482,10 @@ func (f *Fabric) Send(frame *Frame, onTxDone func()) {
 	frame.delay = fd.ExtraDelay
 	frame.ser = f.serTime(netSize)
 	frame.dup = fd.Duplicate
+	if f.cfg.Topo != nil {
+		f.sendTopo(frame, src)
+		return
+	}
 	if frame.txFn == nil {
 		frame.bindFns()
 	}

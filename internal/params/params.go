@@ -192,6 +192,23 @@ const (
 	VerbsPollBatchUS     = 0.2
 )
 
+// QPIP NIC collective-engine stage costs (DESIGN §15). The collective FSM
+// is small relative to the TCP stages: no TCB, no RTT estimators, fixed
+// tree/ring peers resolved at group-join time. Costs are modeled in the
+// same per-stage style as Tables 2/3, sized between the cheap UDP header
+// stages and the doorbell/schedule pair.
+const (
+	// CollPostUS is consuming one collective WR: doorbell drain, WR fetch
+	// by DMA, group lookup, first message build.
+	CollPostUS = 2.0
+	// CollStepUS is one collective FSM step on an arriving message: parse,
+	// group/op lookup, forward decision, next message build.
+	CollStepUS = 1.5
+	// CollReduceCyclesPerWord is the per-word combine cost of a reduction
+	// step (load, add-with-carry chain, store on the multiply-less LANai).
+	CollReduceCyclesPerWord = 6.0
+)
+
 // GigE adapter (Intel Pro1000-class) parameters.
 const (
 	// GigEIntCoalescePkts delivers one interrupt per this many packets

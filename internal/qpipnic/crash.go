@@ -66,6 +66,10 @@ func (n *NIC) Crash() {
 		})
 	}
 
+	// The collective engine's group table is SRAM too: undone posted
+	// operations flush to their CQs, then the groups vanish.
+	n.crashColl()
+
 	// Wipe the SRAM tables. The qpState entries stay reachable from
 	// in-flight chain runners but are unlinked from every map.
 	n.qps = make(map[uint32]*qpState)

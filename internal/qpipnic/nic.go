@@ -219,6 +219,10 @@ type NIC struct {
 	nextEphem uint16
 	issCount  uint32
 
+	// collGroups is the collective engine's group table (coll.go): one
+	// entry per joined group, keyed access only.
+	collGroups map[uint16]*collGroup
+
 	// down marks a crashed adapter: frames are dropped on the floor and
 	// management verbs refuse with verbs.ErrNICDown until Restart.
 	down bool
@@ -241,8 +245,9 @@ type NIC struct {
 	// dbScratch is the doorbell FSM's vectored drain buffer (PopN).
 	dbScratch [64]uint64
 
-	// Per-stage occupancy, split by the four table columns.
-	TxData, TxAck, RxData, RxAck *trace.Stages
+	// Per-stage occupancy, split by the four table columns, plus the
+	// collective engine's stages.
+	TxData, TxAck, RxData, RxAck, Coll *trace.Stages
 	// Net counts fault-visible events (rx.corrupt, tx.retransmit,
 	// conn.retry-exceeded, ...) for the chaos benches.
 	Net   *trace.Counters
@@ -255,23 +260,25 @@ func New(eng *sim.Engine, fab *fabric.Fabric, cfg Config) *NIC {
 		cfg.MTU = params.MTUQPIP
 	}
 	n := &NIC{
-		eng:       eng,
-		cfg:       cfg,
-		cpu:       sim.NewCPU(eng, cfg.Name+".lanai", params.NICClockHz),
-		db:        hw.NewDoorbell(1024),
-		fab:       fab,
-		qps:       make(map[uint32]*qpState),
-		tcpConns:  make(map[tcpKey]*qpState),
-		listeners: make(map[uint16]*verbs.Listener),
-		udpPorts:  udp.NewPortSpace[*qpState](),
-		tcpPorts:  make(map[uint16]bool),
-		nextEphem: 49152,
-		bootEpoch: 1,
-		TxData:    trace.NewStages(),
-		TxAck:     trace.NewStages(),
-		RxData:    trace.NewStages(),
-		RxAck:     trace.NewStages(),
-		Net:       trace.NewCounters(),
+		eng:        eng,
+		cfg:        cfg,
+		cpu:        sim.NewCPU(eng, cfg.Name+".lanai", params.NICClockHz),
+		db:         hw.NewDoorbell(1024),
+		fab:        fab,
+		qps:        make(map[uint32]*qpState),
+		tcpConns:   make(map[tcpKey]*qpState),
+		listeners:  make(map[uint16]*verbs.Listener),
+		udpPorts:   udp.NewPortSpace[*qpState](),
+		tcpPorts:   make(map[uint16]bool),
+		nextEphem:  49152,
+		bootEpoch:  1,
+		collGroups: make(map[uint16]*collGroup),
+		TxData:     trace.NewStages(),
+		TxAck:      trace.NewStages(),
+		RxData:     trace.NewStages(),
+		RxAck:      trace.NewStages(),
+		Coll:       trace.NewStages(),
+		Net:        trace.NewCounters(),
 	}
 	n.initTemplates()
 	n.txDoneFn = func() {
@@ -374,6 +381,7 @@ func (n *NIC) ResetStages() {
 	n.TxAck.Reset()
 	n.RxData.Reset()
 	n.RxAck.Reset()
+	n.Coll.Reset()
 }
 
 // ---- verbs.Device implementation (management FSM). ----

@@ -20,6 +20,14 @@ import (
 
 // receiveFrame is the fabric delivery handler.
 func (n *NIC) receiveFrame(f *fabric.Frame) {
+	if cm, ok := f.Payload.(*collMsg); ok {
+		// Collective messages bypass the inter-network stack: the
+		// collective engine demultiplexes on (group, seq) directly.
+		if !n.down {
+			n.receiveColl(cm)
+		}
+		return
+	}
 	pkt, ok := f.Payload.(*wire.Packet)
 	if !ok {
 		return // not for this stack

@@ -1,0 +1,117 @@
+package topo
+
+import "testing"
+
+// Build already self-validates link symmetry and route consistency
+// (Build panics otherwise), so the table test's main job is exercising
+// every family at several sizes and pinning the shape facts the fabric
+// and the bench rely on.
+func TestBuildAllKinds(t *testing.T) {
+	cases := []struct {
+		name     string
+		spec     Spec
+		n        int
+		switches int
+		diameter int
+	}{
+		{"star2", Spec{Kind: Star}, 2, 1, 1},
+		{"star128", Spec{Kind: Star}, 128, 1, 1},
+		{"ring1", Spec{Kind: Ring}, 1, 1, 1},
+		{"ring2", Spec{Kind: Ring}, 2, 2, 2},
+		{"ring8", Spec{Kind: Ring}, 8, 8, 5},
+		{"mesh4x4", Spec{Kind: Mesh, W: 4, H: 4}, 16, 16, 7},
+		{"mesh-auto8", Spec{Kind: Mesh}, 8, 9, 5}, // 3x3 auto grid, corner to corner
+		{"meshYX", Spec{Kind: Mesh, W: 4, H: 4, YX: true}, 16, 16, 7},
+		{"fattree4", Spec{Kind: FatTree}, 4, 1, 1}, // one leaf: degenerate star
+		{"fattree32", Spec{Kind: FatTree}, 32, 12, 3},
+		{"fattree128", Spec{Kind: FatTree}, 128, 36, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := Build(tc.spec, tc.n)
+			if got := g.Switches(); got != tc.switches {
+				t.Errorf("switches = %d, want %d", got, tc.switches)
+			}
+			if got := g.Diameter(); got != tc.diameter {
+				t.Errorf("diameter = %d, want %d", got, tc.diameter)
+			}
+			if got := g.Endpoints(); got != tc.n {
+				t.Errorf("endpoints = %d, want %d", got, tc.n)
+			}
+		})
+	}
+}
+
+func TestRingShortestDirection(t *testing.T) {
+	g := Build(Spec{Kind: Ring}, 8)
+	// Distance 3 forward: clockwise, 4 hops (3 transit switches + dest).
+	if r := g.Route(0, 3); len(r) != 4 || r[0].Out != 1 {
+		t.Errorf("0->3 = %v, want 4 clockwise hops", r)
+	}
+	// Distance 5 forward = 3 backward: counter-clockwise.
+	if r := g.Route(0, 5); len(r) != 4 || r[0].Out != 2 {
+		t.Errorf("0->5 = %v, want 4 counter-clockwise hops", r)
+	}
+	// Exact tie (distance 4 both ways) goes clockwise.
+	if r := g.Route(0, 4); len(r) != 5 || r[0].Out != 1 {
+		t.Errorf("0->4 = %v, want clockwise on tie", r)
+	}
+}
+
+func TestMeshDimensionOrder(t *testing.T) {
+	xy := Build(Spec{Kind: Mesh, W: 4, H: 4}, 16)
+	yx := Build(Spec{Kind: Mesh, W: 4, H: 4, YX: true}, 16)
+	// (0,0) -> (2,1): XY goes east twice then north; YX goes north first.
+	rxy, ryx := xy.Route(0, 6), yx.Route(0, 6)
+	if len(rxy) != 4 || len(ryx) != 4 {
+		t.Fatalf("route lengths = %d/%d, want 4/4", len(rxy), len(ryx))
+	}
+	if rxy[0].Out != meshPortPX {
+		t.Errorf("XY first move = port %d, want +X", rxy[0].Out)
+	}
+	if ryx[0].Out != meshPortPY {
+		t.Errorf("YX first move = port %d, want +Y", ryx[0].Out)
+	}
+	// Both end at the destination switch's endpoint port.
+	if rxy[3].Sw != 6 || rxy[3].Out != meshPortEp {
+		t.Errorf("XY last hop = %v, want sw6 endpoint", rxy[3])
+	}
+}
+
+func TestFatTreeRoutes(t *testing.T) {
+	g := Build(Spec{Kind: FatTree}, 32) // 8 leaves, 4 spines
+	// Same leaf: one hop.
+	if r := g.Route(0, 3); len(r) != 1 || r[0].Sw != 0 {
+		t.Errorf("0->3 = %v, want 1 leaf hop", r)
+	}
+	// Cross leaf: leaf -> spine -> leaf, spine chosen by dst%arity.
+	r := g.Route(0, 13)
+	if len(r) != 3 {
+		t.Fatalf("0->13 = %v, want 3 hops", r)
+	}
+	if want := 8 + 13%4; r[1].Sw != want {
+		t.Errorf("0->13 spine = sw%d, want sw%d", r[1].Sw, want)
+	}
+}
+
+func TestSelfRoute(t *testing.T) {
+	for _, spec := range []Spec{{Kind: Star}, {Kind: Ring}, {Kind: Mesh}, {Kind: FatTree}} {
+		g := Build(spec, 8)
+		r := g.Route(5, 5)
+		if len(r) == 0 {
+			t.Errorf("%v: empty self route", spec.Kind)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, s := range []string{"star", "ring", "mesh", "fattree"} {
+		k, err := ParseKind(s)
+		if err != nil || k.String() != s {
+			t.Errorf("ParseKind(%q) = %v, %v", s, k, err)
+		}
+	}
+	if _, err := ParseKind("torus"); err == nil {
+		t.Error("ParseKind(torus) should fail")
+	}
+}

@@ -1,0 +1,146 @@
+package verbs
+
+// Collective verbs. A CollQ is the host handle on one collective group: a
+// set of ranks (one per adapter) that execute barriers, broadcasts and
+// ring reductions entirely inside the adapters. The host posts one
+// collective WR — a single doorbell crossing, charged like PostSend — and
+// the group's adapters run the gather/release tree or the ring schedule
+// among themselves with no further host involvement; the completion
+// arrives on the bound CQ when the local rank's result is ready.
+//
+// Collective posting order must match across ranks (the usual collective
+// calling convention): the i-th collective posted on every rank of a
+// group is the same logical operation. The adapters pair messages by that
+// per-group sequence number, so posts may be issued at arbitrary
+// simulated times — early messages wait in adapter SRAM.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/buf"
+	"repro/internal/inet"
+	"repro/internal/params"
+	"repro/internal/sim"
+)
+
+// CollWR is a collective work request.
+type CollWR struct {
+	ID uint64
+	// Op selects the collective: OpBarrier, OpBcast, OpAllreduce or
+	// OpReduceScatter.
+	Op Op
+	// Root is the broadcasting rank (OpBcast only).
+	Root int
+	// Vec is the local contribution: the payload at the bcast root, the
+	// input vector for allreduce/reduce-scatter. Unused by barriers.
+	Vec []uint64
+}
+
+// CollDevice is the optional adapter capability behind CollQ. It is a
+// separate interface — not part of Device — so conventional adapters and
+// test fakes are unaffected; NewCollQ refuses devices without it.
+type CollDevice interface {
+	Device
+	// JoinColl registers this adapter as one rank of a collective group.
+	// members lists every rank's adapter address, indexed by rank;
+	// completions for the group land on cq.
+	JoinColl(group uint16, rank int, members []inet.Addr6, cq *CQ) error
+	// PostColl hands one collective WR to the adapter (the doorbell write
+	// is modeled inside, like SendDoorbell).
+	PostColl(group uint16, wr CollWR) error
+}
+
+// CollQ is the host-side handle on one rank's membership in a collective
+// group.
+type CollQ struct {
+	dev   CollDevice
+	group uint16
+	rank  int
+	size  int
+	cq    *CQ
+}
+
+// NewCollQ joins dev to a collective group as rank rank of len(members)
+// and returns the posting handle. Completions carry QPN
+// 0x80000000|group (collectives have no QP) and the posted WR ID.
+func NewCollQ(dev Device, group uint16, rank int, members []inet.Addr6, cq *CQ) (*CollQ, error) {
+	cd, ok := dev.(CollDevice)
+	if !ok {
+		return nil, fmt.Errorf("%w: device has no collective engine", ErrNotSupported)
+	}
+	if rank < 0 || rank >= len(members) {
+		return nil, fmt.Errorf("verbs: collective rank %d outside group of %d", rank, len(members))
+	}
+	if err := cd.JoinColl(group, rank, members, cq); err != nil {
+		return nil, err
+	}
+	return &CollQ{dev: cd, group: group, rank: rank, size: len(members), cq: cq}, nil
+}
+
+// Rank reports this member's rank.
+func (c *CollQ) Rank() int { return c.rank }
+
+// Size reports the group size.
+func (c *CollQ) Size() int { return c.size }
+
+// PostBarrier posts a barrier: the completion arrives once every rank has
+// posted its matching barrier.
+func (c *CollQ) PostBarrier(p *sim.Proc, id uint64) error {
+	return c.post(p, CollWR{ID: id, Op: OpBarrier})
+}
+
+// PostBcast posts a broadcast of vec from root. Non-root ranks pass their
+// WR with vec ignored; every rank's completion payload carries the root's
+// vector.
+func (c *CollQ) PostBcast(p *sim.Proc, id uint64, root int, vec []uint64) error {
+	if root < 0 || root >= c.size {
+		return fmt.Errorf("verbs: bcast root %d outside group of %d", root, c.size)
+	}
+	return c.post(p, CollWR{ID: id, Op: OpBcast, Root: root, Vec: vec})
+}
+
+// PostAllreduce posts a ring allreduce (elementwise sum): the completion
+// payload carries the full reduced vector.
+func (c *CollQ) PostAllreduce(p *sim.Proc, id uint64, vec []uint64) error {
+	return c.post(p, CollWR{ID: id, Op: OpAllreduce, Vec: vec})
+}
+
+// PostReduceScatter posts the reduce-scatter half of the ring schedule:
+// rank r's completion payload carries the fully reduced chunk covering
+// words [c*ceil(len/size), (c+1)*ceil(len/size)) of the (zero-padded)
+// vector, c = (r+1) mod size.
+func (c *CollQ) PostReduceScatter(p *sim.Proc, id uint64, vec []uint64) error {
+	return c.post(p, CollWR{ID: id, Op: OpReduceScatter, Vec: vec})
+}
+
+// post charges the host for building the WR and the doorbell write —
+// the same Table 1 cost as PostSend — and hands off to the adapter. This
+// is the last host CPU the collective consumes before its completion.
+func (c *CollQ) post(p *sim.Proc, wr CollWR) error {
+	p.Use(c.dev.HostCPU().Server, params.US(params.VerbsPostSendUS))
+	return c.dev.PostColl(c.group, wr)
+}
+
+// MarshalVec encodes a result vector into a real payload buffer
+// (8 bytes per word, little-endian) for Completion.Payload.
+func MarshalVec(vec []uint64) buf.Buf {
+	if len(vec) == 0 {
+		return buf.Empty
+	}
+	d := make([]byte, 8*len(vec))
+	for i, w := range vec {
+		binary.LittleEndian.PutUint64(d[8*i:], w)
+	}
+	return buf.Bytes(d)
+}
+
+// UnmarshalVec decodes a MarshalVec payload.
+func UnmarshalVec(b buf.Buf) []uint64 {
+	d := b.Data()
+	vec := make([]uint64, len(d)/8)
+	for i := range vec {
+		vec[i] = binary.LittleEndian.Uint64(d[8*i:])
+	}
+	return vec
+}

@@ -105,6 +105,12 @@ type Op int
 const (
 	OpSend Op = iota
 	OpRecv
+	// Collective operations (coll.go): posted through a CollQ, executed
+	// by the adapter's collective engine, completed on the bound CQ.
+	OpBarrier
+	OpBcast
+	OpAllreduce
+	OpReduceScatter
 )
 
 // Status is a completion status.

@@ -337,3 +337,245 @@ func TestParallelRunFor(t *testing.T) {
 		t.Errorf("RunFor slicing diverges: fired %d vs %d, end %v vs %v", f1, f2, e1, e2)
 	}
 }
+
+// --- Switched topologies and collectives under the parallel runner ---
+//
+// The multi-hop fabric (DESIGN §15) threads frames through switch egress
+// arbiters whose grants depend only on timestamps, and the conservative
+// runner's lookahead shrinks to the cheapest cut-crossing path. These
+// tests pin the same bit-identity contract as the 4-node matrix on the
+// two shapes that stress it most: a 4x4 mesh whose XY routes cross the
+// shard cut mid-path, and a ring-topology NIC-offloaded allreduce whose
+// firmware messages are the only traffic. Topology plans never use
+// Isolate: severed shards refuse multi-hop routes by design.
+
+// topoResult is everything a topology run produces that must be
+// identical across shard placements.
+type topoResult struct {
+	trace    string
+	endTime  qpip.Time
+	fired    uint64
+	stats    fault.Stats
+	statuses [16]string
+	counters [16]string
+}
+
+func (r *topoResult) capture(c *qpip.Cluster, inj *qpip.FaultInjector) {
+	r.trace = inj.TraceString()
+	r.stats = inj.Stats()
+	r.endTime = c.EndTime()
+	r.fired = c.FiredTotal()
+	for i, n := range c.Nodes {
+		r.counters[i] = n.QPIP.Net.String()
+	}
+}
+
+func assertTopoIdentical(t *testing.T, name string, ref, got topoResult, refMode, gotMode string) {
+	t.Helper()
+	if ref.trace != got.trace {
+		t.Errorf("%s: fault traces diverge between %s and %s", name, refMode, gotMode)
+	}
+	if ref.endTime != got.endTime {
+		t.Errorf("%s: end times diverge: %s=%v %s=%v", name, refMode, ref.endTime, gotMode, got.endTime)
+	}
+	if ref.fired != got.fired {
+		t.Errorf("%s: event counts diverge: %s=%d %s=%d", name, refMode, ref.fired, gotMode, got.fired)
+	}
+	if ref.stats != got.stats {
+		t.Errorf("%s: fault stats diverge: %s=%+v %s=%+v", name, refMode, ref.stats, gotMode, got.stats)
+	}
+	for i := range ref.statuses {
+		if ref.statuses[i] != got.statuses[i] {
+			t.Errorf("%s: node %d observation sequences diverge:\n%s: %s\n%s: %s",
+				name, i, refMode, ref.statuses[i], gotMode, got.statuses[i])
+		}
+	}
+	for i := range ref.counters {
+		if ref.counters[i] != got.counters[i] {
+			t.Errorf("%s: node %d counters diverge:\n%s:\n%s\n%s:\n%s",
+				name, i, refMode, ref.counters[i], gotMode, got.counters[i])
+		}
+	}
+}
+
+// topoCluster builds an n-node cluster on spec with the given shard
+// count (0 = plain sequential engine).
+func topoCluster(n, shards int, spec qpip.TopoSpec) *qpip.Cluster {
+	cfg := qpip.NodeConfig{QPIP: true, Topology: spec}
+	if shards == 0 {
+		return qpip.NewCluster(n, cfg)
+	}
+	return qpip.NewShardedCluster(n, cfg, qpip.ShardPlan{Shards: shards})
+}
+
+// runTopoMesh runs four reliable flows across a 4x4 mesh — each route
+// crosses the round-robin shard cut at least once — and captures every
+// observable.
+func runTopoMesh(t *testing.T, shards int, plan qpip.FaultPlan) topoResult {
+	t.Helper()
+	const n, msgs, msgLen = 16, 16, 2048
+	c := topoCluster(n, shards, qpip.TopoSpec{Kind: qpip.TopoMesh, W: 4, H: 4})
+	inj := qpip.InjectFaults(c, plan)
+	var res topoResult
+	flows := [4][2]int{{0, 5}, {2, 7}, {8, 13}, {10, 15}}
+	for fi, f := range flows {
+		fi, client, server := fi, f[0], f[1]
+		port := uint16(7300 + fi)
+		c.SpawnOn(server, fmt.Sprintf("mesh-server%d", server), func(p *qpip.Proc) {
+			qp, _, rcq, err := qpip.NewReliableQP(c.Nodes[server], 64)
+			if err != nil {
+				t.Errorf("server %d QP: %v", server, err)
+				return
+			}
+			lst, err := c.Nodes[server].QPIP.Listen(port)
+			if err != nil {
+				t.Errorf("Listen %d: %v", server, err)
+				return
+			}
+			lst.Post(qp)
+			if err := qp.WaitEstablished(p); err != nil {
+				res.statuses[server] += fmt.Sprintf("est=%v ", err)
+				return
+			}
+			for i := 0; i < msgs; i++ {
+				if err := qp.PostRecv(p, qpip.RecvWR{ID: uint64(i), Capacity: msgLen}); err != nil {
+					t.Errorf("PostRecv %d: %v", i, err)
+					return
+				}
+			}
+			for i := 0; i < msgs; i++ {
+				comp := rcq.Wait(p)
+				res.statuses[server] += fmt.Sprintf("r%d=%v ", comp.WRID, comp.Status)
+				if comp.Status == qpip.StatusSuccess {
+					res.statuses[server] += fmt.Sprintf("len%d ", comp.Payload.Len())
+				}
+			}
+		})
+		c.SpawnOn(client, fmt.Sprintf("mesh-client%d", client), func(p *qpip.Proc) {
+			qp, scq, _, err := qpip.NewReliableQP(c.Nodes[client], 64)
+			if err != nil {
+				t.Errorf("client %d QP: %v", client, err)
+				return
+			}
+			if err := qp.Connect(p, c.Nodes[server].Addr6, port); err != nil {
+				res.statuses[client] += fmt.Sprintf("conn=%v ", err)
+				return
+			}
+			for i := 0; i < msgs; i++ {
+				if err := qp.PostSend(p, qpip.SendWR{ID: uint64(i), Payload: buf.Pattern(msgLen, byte(fi<<4|i&0xf))}); err != nil {
+					res.statuses[client] += fmt.Sprintf("post%d=%v ", i, err)
+					return
+				}
+				comp := scq.Wait(p)
+				res.statuses[client] += fmt.Sprintf("s%d=%v ", comp.WRID, comp.Status)
+			}
+		})
+	}
+	c.Run()
+	res.capture(c, inj)
+	return res
+}
+
+// TestParallelTopologyMesh: the 4x4 mesh workload is bit-identical in
+// sequential, 2-shard, and 4-shard placements, fault-free and under
+// full link chaos (multi-hop frames are retransmitted like any other).
+func TestParallelTopologyMesh(t *testing.T) {
+	plans := []struct {
+		name string
+		plan qpip.FaultPlan
+	}{
+		{name: "fault-free", plan: qpip.FaultPlan{}},
+		{name: "chaos", plan: qpip.FaultPlan{
+			Seed:          0xBEEF,
+			DropProb:      0.01,
+			DupProb:       0.02,
+			DelayProb:     0.05,
+			MaxExtraDelay: 20_000,
+			SkipFirst:     16,
+		}},
+	}
+	for _, tc := range plans {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := runTopoMesh(t, 0, tc.plan)
+			if t.Failed() {
+				return
+			}
+			two := runTopoMesh(t, 2, tc.plan)
+			four := runTopoMesh(t, 4, tc.plan)
+			assertTopoIdentical(t, tc.name, seq, two, "sequential", "2-shard")
+			assertTopoIdentical(t, tc.name, seq, four, "sequential", "4-shard")
+		})
+	}
+}
+
+// runTopoAllreduce runs three NIC-offloaded ring allreduces on a ring
+// topology: the firmware's step messages are the only traffic, so the
+// test isolates the collective engine's determinism under sharding.
+func runTopoAllreduce(t *testing.T, shards int, plan qpip.FaultPlan) topoResult {
+	t.Helper()
+	const n, ops, words = 8, 3, 16
+	c := topoCluster(n, shards, qpip.TopoSpec{Kind: qpip.TopoRing})
+	inj := qpip.InjectFaults(c, plan)
+	addrs := make([]qpip.Addr6, n)
+	for i := range addrs {
+		addrs[i] = c.Nodes[i].Addr6
+	}
+	var res topoResult
+	for i := 0; i < n; i++ {
+		i := i
+		c.SpawnOn(i, fmt.Sprintf("rank%d", i), func(p *qpip.Proc) {
+			cq := qpip.NewCQ(c.Nodes[i], 16)
+			q, err := qpip.NewCollQ(c.Nodes[i], 1, i, addrs, cq)
+			if err != nil {
+				t.Errorf("rank %d: %v", i, err)
+				return
+			}
+			for op := 0; op < ops; op++ {
+				vec := make([]uint64, words)
+				for j := range vec {
+					vec[j] = uint64(i*100 + op*10 + j)
+				}
+				if err := q.PostAllreduce(p, uint64(op), vec); err != nil {
+					t.Errorf("rank %d op %d: %v", i, op, err)
+					return
+				}
+				comp := cq.Wait(p)
+				res.statuses[i] += fmt.Sprintf("c%d=%v:%x ", comp.WRID, comp.Status, comp.Payload.Data())
+			}
+		})
+	}
+	c.Run()
+	res.capture(c, inj)
+	return res
+}
+
+// TestParallelTopologyAllreduce: the ring-allreduce plan is bit-identical
+// in sequential, 2-shard, and 4-shard placements, fault-free and under
+// delay+duplication chaos (the collective engine is dup-safe and
+// reorder-safe but has no retransmit, so drops are out of scope).
+func TestParallelTopologyAllreduce(t *testing.T) {
+	plans := []struct {
+		name string
+		plan qpip.FaultPlan
+	}{
+		{name: "fault-free", plan: qpip.FaultPlan{}},
+		{name: "delay-dup-chaos", plan: qpip.FaultPlan{
+			Seed:          0xABCD,
+			DupProb:       0.05,
+			DelayProb:     0.10,
+			MaxExtraDelay: 15_000,
+		}},
+	}
+	for _, tc := range plans {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := runTopoAllreduce(t, 0, tc.plan)
+			if t.Failed() {
+				return
+			}
+			two := runTopoAllreduce(t, 2, tc.plan)
+			four := runTopoAllreduce(t, 4, tc.plan)
+			assertTopoIdentical(t, tc.name, seq, two, "sequential", "2-shard")
+			assertTopoIdentical(t, tc.name, seq, four, "sequential", "4-shard")
+		})
+	}
+}

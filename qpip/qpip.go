@@ -48,6 +48,7 @@ import (
 	"repro/internal/inet"
 	"repro/internal/qpipnic"
 	"repro/internal/sim"
+	"repro/internal/topo"
 	"repro/internal/verbs"
 )
 
@@ -101,6 +102,60 @@ const (
 	// Unreliable QPs run over offloaded UDP.
 	Unreliable = verbs.Unreliable
 )
+
+// Switched multi-hop topologies (NodeConfig.Topology, DESIGN §15): the
+// Myrinet fabric routes frames through a switch graph with per-egress
+// cut-through arbitration instead of the single-crossbar star.
+type (
+	// TopoSpec selects and sizes a switch topology.
+	TopoSpec = topo.Spec
+	// TopoKind is a topology family.
+	TopoKind = topo.Kind
+)
+
+// Topology families. The zero value (TopoNone) keeps the legacy
+// single-crossbar star fast path.
+const (
+	TopoNone    = topo.None
+	TopoStar    = topo.Star
+	TopoRing    = topo.Ring
+	TopoMesh    = topo.Mesh
+	TopoFatTree = topo.FatTree
+)
+
+// ParseTopoKind parses a topology family name ("star", "ring", "mesh",
+// "fattree").
+func ParseTopoKind(s string) (TopoKind, error) { return topo.ParseKind(s) }
+
+// NIC-offloaded collectives (DESIGN §15): barrier, broadcast and ring
+// reductions executed entirely by the adapters after one initiating post.
+type (
+	// CollQ is the host handle on one rank's collective-group membership.
+	CollQ = verbs.CollQ
+	// CollWR is a collective work request.
+	CollWR = verbs.CollWR
+)
+
+// Collective completion opcodes (Completion.Op).
+const (
+	OpSend          = verbs.OpSend
+	OpRecv          = verbs.OpRecv
+	OpBarrier       = verbs.OpBarrier
+	OpBcast         = verbs.OpBcast
+	OpAllreduce     = verbs.OpAllreduce
+	OpReduceScatter = verbs.OpReduceScatter
+)
+
+// NewCollQ joins node's QPIP adapter to collective group `group` as rank
+// `rank` of len(members); completions land on cq.
+func NewCollQ(node *Node, group uint16, rank int, members []Addr6, cq *CQ) (*CollQ, error) {
+	return verbs.NewCollQ(node.QPIP, group, rank, members, cq)
+}
+
+// MarshalVec / UnmarshalVec convert between result vectors and completion
+// payloads (8 bytes per word).
+func MarshalVec(vec []uint64) Payload { return verbs.MarshalVec(vec) }
+func UnmarshalVec(b Payload) []uint64 { return verbs.UnmarshalVec(b) }
 
 // QP lifecycle states (QP.State), following the Infiniband modify-QP
 // model: RESET→INIT→RTR→RTS with SQD and ERR excursions, driven by
