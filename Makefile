@@ -74,7 +74,10 @@ fuzz:
 # race run (the parallel runner and the sequential/sharded equivalence
 # matrix under -race, beyond the all-package race target above), and the
 # scale guard (sharded runs fire the identical event count and hit the
-# speedup floor for however many cores this host actually has).
+# speedup floor for however many cores this host actually has), and the
+# connection-density guard (SRQ pooling must beat private receive queues
+# on per-connection memory at high QP counts without a CPU regression,
+# and churn must leave no residual connection state).
 check: vet shadow lint staticcheck govulncheck race test chaos
 	$(GO) run ./cmd/qpipbench -exp perf -bytes 1048576 -perf-repeats 1 >/dev/null
 	$(GO) run ./cmd/qpipbench -exp perfguard -bytes 4194304
@@ -82,6 +85,7 @@ check: vet shadow lint staticcheck govulncheck race test chaos
 	$(GO) run ./cmd/qpipbench -exp scaleguard -bytes 4194304
 	$(GO) run ./cmd/qpipbench -exp collective -coll-nodes 2,8 -coll-iters 2 >/dev/null
 	$(GO) run ./cmd/qpipbench -exp collguard -coll-iters 2
+	$(GO) run ./cmd/qpipbench -exp connguard
 
 # Regenerate BENCH_PR4.json: microbenchmarks, the seed-commit baseline
 # (built from a throwaway worktree of the pre-PR tree), and the in-binary
@@ -90,6 +94,9 @@ check: vet shadow lint staticcheck govulncheck race test chaos
 # events cross-checked identical, gomaxprocs recorded per row). Then
 # BENCH_PR8.json: the collectives sweep (host-based vs NIC-offloaded
 # barrier and ring allreduce across ring/mesh/fat-tree topologies).
+# Then BENCH_PR9.json: the connection-density sweep (incast / churn /
+# many-client NBD at 64->8192 connections, SRQ vs private receive
+# queues vs the host stacks).
 bench: microbench
 	scripts/bench_seed.sh $(BENCH_BYTES) $(BENCH_REPEATS) > /tmp/seed_baseline.json
 	$(GO) run ./cmd/qpipbench -exp perf -bytes $(BENCH_BYTES) \
@@ -98,6 +105,7 @@ bench: microbench
 	$(GO) run ./cmd/qpipbench -exp perfscale -bytes 8388608 \
 		-perf-repeats $(BENCH_REPEATS) -json BENCH_PR7.json
 	$(GO) run ./cmd/qpipbench -exp collective -json BENCH_PR8.json
+	$(GO) run ./cmd/qpipbench -exp connscale -json BENCH_PR9.json
 
 microbench:
 	$(GO) test -bench=. -benchmem ./internal/sim/ ./internal/tcp/ ./internal/fabric/

@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	qpipbench [-exp all|fig3|fig4|table1|table2|table3|fig7|chaos|recovery|ablations|irq|perf|perfguard|perfscale|scaleguard|collective|collguard]
+//	qpipbench [-exp all|fig3|fig4|table1|table2|table3|fig7|chaos|recovery|ablations|irq|perf|perfguard|perfscale|scaleguard|collective|collguard|connscale|connguard]
 //	          [-bytes N] [-nbd-bytes N] [-iters N] [-full]
 //	          [-parallel N] [-shards N] [-pairs N]
 //	          [-coll-nodes LIST] [-coll-iters N] [-vec-words N]
+//	          [-conn-counts LIST] [-conn-msgs N]
 //	          [-cpuprofile FILE] [-memprofile FILE]
 //	          [-json FILE] [-seed-json FILE] [-perf-repeats N]
 //
@@ -37,6 +38,16 @@
 // machine-readable report (BENCH_PR8.json). -exp collguard is the CI
 // gate: at 8 nodes the offloaded barrier must beat the host-based one in
 // simulated latency and host CPU on every topology, else exit nonzero.
+//
+// -exp connscale sweeps connection density (-conn-counts, default
+// 64..8192) across three workloads (N->1 incast, RPC connection churn,
+// many-client NBD) and four variants (QPIP with shared receive queues,
+// QPIP with private per-QP receive queues, and the two host stacks),
+// reporting per-connection memory and host CPU per request; with -json
+// it writes the machine-readable report (BENCH_PR9.json). -exp connguard
+// is the CI gate: the SRQ variant must at least halve per-connection
+// memory at 1024 connections without regressing CPU per request at 64,
+// and churn must leave no residual connection state.
 package main
 
 import (
@@ -52,7 +63,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig3, fig4, table1, table2, table3, fig7, chaos, recovery, ablations, irq, perf, perfguard, perfscale, scaleguard, collective, collguard")
+	exp := flag.String("exp", "all", "experiment: all, fig3, fig4, table1, table2, table3, fig7, chaos, recovery, ablations, irq, perf, perfguard, perfscale, scaleguard, collective, collguard, connscale, connguard")
 	bytes := flag.Int("bytes", 4<<20, "ttcp transfer size in bytes")
 	nbdBytes := flag.Int("nbd-bytes", 64<<20, "NBD benchmark size in bytes")
 	iters := flag.Int("iters", 50, "ping-pong iterations for latency experiments")
@@ -68,6 +79,8 @@ func main() {
 	collNodes := flag.String("coll-nodes", "2,8,32,128", "comma-separated group sizes for -exp collective")
 	collIters := flag.Int("coll-iters", 4, "timed operations per point in -exp collective/collguard")
 	vecWords := flag.Int("vec-words", 64, "allreduce vector length in 64-bit words for -exp collective")
+	connCounts := flag.String("conn-counts", "64,512,2048,8192", "comma-separated connection counts for -exp connscale")
+	connMsgs := flag.Int("conn-msgs", 4, "requests per connection for -exp connscale/connguard")
 	flag.Parse()
 
 	if *full {
@@ -236,6 +249,34 @@ func main() {
 	if *exp == "collguard" {
 		ran = true
 		report, ok := bench.CollectiveGuard(*collIters)
+		fmt.Print(report)
+		if !ok {
+			os.Exit(1)
+		}
+	}
+
+	// connscale sweeps up to 8192 connections per point; like perfscale it
+	// is excluded from -exp all.
+	if *exp == "connscale" {
+		ran = true
+		counts, err := parseNodeList(*connCounts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-conn-counts: %v\n", err)
+			os.Exit(2)
+		}
+		rep := bench.Connscale(counts, *connMsgs)
+		fmt.Print(bench.RenderConnscale(rep))
+		if *jsonPath != "" {
+			if err := bench.WriteConnJSON(*jsonPath, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+	}
+	if *exp == "connguard" {
+		ran = true
+		report, ok := bench.ConnGuard(*connMsgs)
 		fmt.Print(report)
 		if !ok {
 			os.Exit(1)

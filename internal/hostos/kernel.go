@@ -66,12 +66,16 @@ type Kernel struct {
 	addr   inet.Addr4
 	routes map[inet.Addr4]route
 
-	tcpConns  map[tcpKey]*Socket
-	listeners map[uint16]*Socket
-	udpPorts  *udp.PortSpace[*Socket]
-	nextPort  uint16
-	issCount  uint32
-	ipID      uint16
+	tcpConns map[tcpKey]*Socket
+	// tcpPortUse counts live connections per local port so ephemeral
+	// allocation is O(1) per probe instead of O(live connections) — at
+	// thousands of churning connections the old scan dominated connect().
+	tcpPortUse map[uint16]int
+	listeners  map[uint16]*Socket
+	udpPorts   *udp.PortSpace[*Socket]
+	nextPort   uint16
+	issCount   uint32
+	ipID       uint16
 
 	// Net counts fault-visible events (rx.corrupt, tx.retransmit,
 	// conn.retry-exceeded, ...) with the same names the QPIP NIC uses,
@@ -93,17 +97,18 @@ func NewKernel(eng *sim.Engine, name string, addr inet.Addr4, cpu *sim.CPU, bus 
 		cpu = sim.NewCPU(eng, name+".cpu0", params.HostClockHz)
 	}
 	return &Kernel{
-		eng:       eng,
-		name:      name,
-		cpu:       cpu,
-		bus:       bus,
-		addr:      addr,
-		routes:    make(map[inet.Addr4]route),
-		tcpConns:  make(map[tcpKey]*Socket),
-		listeners: make(map[uint16]*Socket),
-		udpPorts:  udp.NewPortSpace[*Socket](),
-		nextPort:  32768,
-		Net:       trace.NewCounters(),
+		eng:        eng,
+		name:       name,
+		cpu:        cpu,
+		bus:        bus,
+		addr:       addr,
+		routes:     make(map[inet.Addr4]route),
+		tcpConns:   make(map[tcpKey]*Socket),
+		tcpPortUse: make(map[uint16]int),
+		listeners:  make(map[uint16]*Socket),
+		udpPorts:   udp.NewPortSpace[*Socket](),
+		nextPort:   32768,
+		Net:        trace.NewCounters(),
 	}
 }
 
@@ -140,7 +145,9 @@ func (k *Kernel) lookupRoute(dst inet.Addr4) (route, error) {
 	return r, nil
 }
 
-// allocPort grabs an ephemeral TCP port.
+// allocPort grabs an ephemeral TCP port. Each probe is a map lookup, not
+// a scan of the connection table, so connection churn at 8k sockets does
+// not turn connect() into an O(n) walk.
 func (k *Kernel) allocPort() uint16 {
 	for {
 		p := k.nextPort
@@ -148,20 +155,51 @@ func (k *Kernel) allocPort() uint16 {
 		if k.nextPort == 0 {
 			k.nextPort = 32768
 		}
-		if k.listeners[p] != nil {
-			continue
-		}
-		inUse := false
-		for key := range k.tcpConns {
-			if key.localPort == p {
-				inUse = true
-				break
-			}
-		}
-		if !inUse {
+		if k.listeners[p] == nil && k.tcpPortUse[p] == 0 {
 			return p
 		}
 	}
+}
+
+// registerConn installs a TCB in the demux table and reserves its local
+// port.
+func (k *Kernel) registerConn(key tcpKey, s *Socket) {
+	k.tcpConns[key] = s
+	k.tcpPortUse[key.localPort]++
+}
+
+// reapConn removes a dead connection from the demux table, releasing its
+// port reservation. The kernel reaps eagerly on close/reset/timeout
+// rather than modelling TIME_WAIT: a late retransmit for a reaped
+// connection is dropped (DroppedNoPort) and the peer's own retry budget
+// reaps its end, so churn benchmarks see steady-state table sizes.
+func (k *Kernel) reapConn(s *Socket) {
+	key := tcpKey{s.localPort, s.raddr, s.rport}
+	if k.tcpConns[key] != s {
+		return // already reaped, or the key was never registered
+	}
+	delete(k.tcpConns, key)
+	if k.tcpPortUse[key.localPort] <= 1 {
+		delete(k.tcpPortUse, key.localPort)
+	} else {
+		k.tcpPortUse[key.localPort]--
+	}
+}
+
+// LiveConns reports the number of TCBs resident in the demux table.
+func (k *Kernel) LiveConns() int { return len(k.tcpConns) }
+
+// ConnMemBytes estimates committed host kernel memory for the live TCP
+// connections: TCB and socket structs plus the per-socket send/receive
+// buffer reservations (DESIGN §16). This is the host-stack counterpart
+// of the adapter's SRAMFootprint and feeds the connection-density
+// benches' per-connection memory axis.
+func (k *Kernel) ConnMemBytes() int {
+	total := 0
+	for _, s := range k.tcpConns { //lint:qpip-allow maporder order-independent sum
+		total += params.HostTCBBytes + params.HostSockBytes + s.sndBufCap + defaultRcvBuf
+	}
+	return total
 }
 
 // charge runs a kernel cost on the host CPU in event context.
@@ -371,7 +409,7 @@ func (k *Kernel) acceptSYN(seg *tcp.Segment, ip4 *inet.Header4) {
 	// The kernel consumes every Actions before re-entering the TCB, so the
 	// action slices can live in per-conn reusable buffers.
 	child.conn.ReuseActionBuffers(pool.Enabled())
-	k.tcpConns[tcpKey{seg.DstPort, ip4.Src, seg.SrcPort}] = child
+	k.registerConn(tcpKey{seg.DstPort, ip4.Src, seg.SrcPort}, child)
 	now := int64(k.eng.Now())
 	acts, err := child.conn.AcceptSYN(seg, now)
 	if err != nil {
@@ -426,6 +464,9 @@ func (k *Kernel) applyActions(s *Socket, acts tcp.Actions) {
 	}
 	if acts.Closed {
 		s.onClosed()
+	}
+	if acts.Closed || acts.Reset || acts.RetryExceeded {
+		k.reapConn(s)
 	}
 	k.syncTimer(s)
 }

@@ -262,6 +262,35 @@ const (
 	QPIPMaxQPs = 512
 )
 
+// Per-connection memory footprints (DESIGN §16). These size the state that
+// dominates at thousands of concurrent connections — the axis the connscale
+// experiment measures. Adapter-side figures are SRAM bytes on the LANai;
+// host-side figures are what a Linux 2.4-class kernel and the verbs
+// library pin in host memory per connection.
+const (
+	// SRAMConnBytes is the adapter-SRAM footprint of one live connection:
+	// the record-mode TCB (sequence state, RTT estimators, retransmit
+	// bookkeeping) plus the firmware QP context (WR cursors, doorbell and
+	// timer state). Sized so QPIPMaxQPs of them fit the 2 MB SRAM beside
+	// the firmware working set.
+	SRAMConnBytes = 1536
+	// SRAMQPSlotBytes is one QP state-table slot: the hashed-QPN index
+	// entry plus the dense-table element header.
+	SRAMQPSlotBytes = 16
+	// HostTCBBytes is the host kernel's per-connection TCP control block
+	// (struct sock + tcp_opt on Linux 2.4, excluding socket buffers).
+	HostTCBBytes = 1280
+	// HostSockBytes is the non-TCB kernel overhead of one open socket:
+	// file table entry, inode/dentry glue, wait queues.
+	HostSockBytes = 512
+	// HostQPBytes is the verbs library's per-QP host bookkeeping (queue
+	// headers and cursors; WR descriptors are accounted separately).
+	HostQPBytes = 192
+	// HostWRBytes is one work-request descriptor in a host-resident queue
+	// (the buffer it points at is accounted at its capacity).
+	HostWRBytes = 32
+)
+
 // MTUs (paper §4.2.1).
 const (
 	MTUEthernet = 1500

@@ -297,10 +297,13 @@ func (cr *chainRun) run() {
 			if cr.qs.stashLen() > 0 {
 				// Receiver not ready: records wait in SRAM until the host
 				// posts receive WRs (the QPIP analog of an RNR NAK — the
-				// closed TCP window is the backoff).
+				// closed TCP window is the backoff). An SRQ-attached
+				// connection additionally parks on the shared pool so the
+				// next repost drains it.
 				cr.n.stats.StashedRecords++
 				cr.qs.rnr++
 				cr.n.Net.Add("rx.rnr", 1)
+				cr.n.enqueueSRQWaiter(cr.qs)
 			}
 			continue
 		case stPlaceDone:

@@ -1,8 +1,6 @@
 package qpipnic
 
 import (
-	"sort"
-
 	"repro/internal/verbs"
 )
 
@@ -41,13 +39,9 @@ func (n *NIC) Crash() {
 	n.down = true
 	n.Net.Add("nic.crash", 1)
 
-	qpns := make([]uint32, 0, len(n.qps))
-	for qpn := range n.qps {
-		qpns = append(qpns, qpn)
-	}
-	sort.Slice(qpns, func(i, j int) bool { return qpns[i] < qpns[j] })
+	qpns := n.qps.liveQPNs(make([]uint32, 0, n.qps.len()))
 	for _, qpn := range qpns {
-		qs := n.qps[qpn]
+		qs := n.qps.get(qpn)
 		if qs.timer != nil {
 			qs.timer.Cancel()
 			qs.timer = nil
@@ -56,6 +50,7 @@ func (n *NIC) Crash() {
 		ids := qs.sendIDs[qs.sendHead:]
 		qs.sendIDs, qs.sendHead = nil, 0
 		qs.stash, qs.stashHead = nil, 0
+		qs.stashBytes = 0
 		qs.pendingWRs = 0
 		qp := qs.qp
 		n.notifyHost(func() {
@@ -71,8 +66,13 @@ func (n *NIC) Crash() {
 	n.crashColl()
 
 	// Wipe the SRAM tables. The qpState entries stay reachable from
-	// in-flight chain runners but are unlinked from every map.
-	n.qps = make(map[uint32]*qpState)
+	// in-flight chain runners but are unlinked from every table. The QPN
+	// free list is SRAM too: wiping it keeps pre-crash QPNs retired
+	// forever, which the epoch fencing relies on. Host-resident SRQ pools
+	// survive; only the adapter-side waiter lists vanish.
+	n.qps.reset()
+	n.qpnFree = n.qpnFree[:0]
+	n.crashSRQs()
 	n.tcpConns = make(map[tcpKey]*qpState)
 	n.listeners = make(map[uint16]*verbs.Listener)
 	n.tcpPorts = make(map[uint16]bool)

@@ -134,6 +134,14 @@ type qpState struct {
 	// to: adopted from the first frame, stale frames dropped, a newer
 	// epoch fails the QP (the peer rebooted; see DESIGN §13).
 	peerEpoch uint32
+	// stashBytes tracks the SRAM bytes pinned by stashed records (part of
+	// the connection's accounted SRAM footprint).
+	stashBytes int
+	// srqs links an SRQ-attached QP to the adapter-side pool state;
+	// srqWait marks it parked on the pool's waiter FIFO (dup-idempotent
+	// enqueue).
+	srqs    *srqState
+	srqWait bool
 	// rnr counts receiver-not-ready events on this connection: in-order
 	// records that arrived with no posted receive WR and had to wait in
 	// adapter SRAM (the QPIP analog of an Infiniband RNR NAK; the TCP
@@ -170,6 +178,7 @@ func (qs *qpState) popSendID() (uint64, bool) {
 func (qs *qpState) stashLen() int { return len(qs.stash) - qs.stashHead }
 
 func (qs *qpState) pushStash(rec buf.Buf) {
+	qs.stashBytes += rec.Len()
 	qs.stash = append(qs.stash, stashedRec{payload: rec})
 }
 
@@ -181,6 +190,7 @@ func (qs *qpState) peekStash() (buf.Buf, bool) {
 }
 
 func (qs *qpState) popStash() {
+	qs.stashBytes -= qs.stash[qs.stashHead].payload.Len()
 	qs.stash[qs.stashHead] = stashedRec{}
 	qs.stashHead++
 	if qs.stashHead == len(qs.stash) {
@@ -210,9 +220,18 @@ type NIC struct {
 	fab *fabric.Fabric
 	att int
 
-	qpnNext   uint32
-	qps       map[uint32]*qpState
-	tcpConns  map[tcpKey]*qpState
+	qpnNext uint32
+	// qpnFree recycles destroyed QPNs LIFO (deterministic). It is wiped
+	// on crash, preserving the invariant that a rebooted adapter never
+	// reissues a pre-crash QPN (epoch fencing relies on it).
+	qpnFree []uint32
+	// qps is the hashed QP state table (qptable.go): the flat per-QPN
+	// map became a fixed-layout SRAM structure once connection counts
+	// grew past hundreds.
+	qps *qpTable
+	// srqs is the adapter-side state of host SRQs, in attach order.
+	srqs     []*srqState
+	tcpConns map[tcpKey]*qpState
 	listeners map[uint16]*verbs.Listener
 	udpPorts  *udp.PortSpace[*qpState]
 	tcpPorts  map[uint16]bool // allocated TCP local ports
@@ -265,7 +284,7 @@ func New(eng *sim.Engine, fab *fabric.Fabric, cfg Config) *NIC {
 		cpu:        sim.NewCPU(eng, cfg.Name+".lanai", params.NICClockHz),
 		db:         hw.NewDoorbell(1024),
 		fab:        fab,
-		qps:        make(map[uint32]*qpState),
+		qps:        newQPTable(),
 		tcpConns:   make(map[tcpKey]*qpState),
 		listeners:  make(map[uint16]*verbs.Listener),
 		udpPorts:   udp.NewPortSpace[*qpState](),
@@ -317,6 +336,9 @@ type ConnStats struct {
 	// StaleEpoch counts pre-crash straggler frames fenced off this
 	// connection.
 	StaleEpoch uint64
+	// SRAMBytes is the connection's accounted adapter-SRAM footprint:
+	// TCB + QP context, its state-table slot, and any stashed records.
+	SRAMBytes int
 }
 
 // sortedConns returns the live connections in connection-key order so
@@ -353,6 +375,7 @@ func (n *NIC) DebugConnStats() []ConnStats {
 			TCP:        qs.conn.Stats(),
 			RNR:        qs.rnr,
 			StaleEpoch: qs.staleEpoch,
+			SRAMBytes:  params.SRAMConnBytes + params.SRAMQPSlotBytes + qs.stashBytes,
 		})
 	}
 	return out
@@ -372,8 +395,27 @@ func (n *NIC) AddConnCounters(dst *trace.Counters) {
 		dst.Add("conn.timeouts", st.Timeouts)
 		dst.Add("conn.rnr", qs.rnr)
 		dst.Add("conn.stale-epoch", qs.staleEpoch)
+		dst.Add("conn.sram-bytes", uint64(params.SRAMConnBytes+params.SRAMQPSlotBytes+qs.stashBytes))
 	}
 }
+
+// SRAMFootprint reports the adapter SRAM pinned by connection state right
+// now: the state-table index, one TCB+QP context per live entry, and
+// stashed records. This is the per-connection-memory quantity the
+// connscale experiment sweeps; trace counters surface it per connection
+// via AddConnCounters ("conn.sram-bytes").
+func (n *NIC) SRAMFootprint() int {
+	total := n.qps.slots() * params.SRAMQPSlotBytes
+	for _, e := range n.qps.entries {
+		if e.qs != nil {
+			total += params.SRAMConnBytes + e.qs.stashBytes
+		}
+	}
+	return total
+}
+
+// LiveQPs reports live state-table entries.
+func (n *NIC) LiveQPs() int { return n.qps.len() }
 
 // ResetStages clears occupancy instrumentation (benchmark warmup).
 func (n *NIC) ResetStages() {
@@ -407,31 +449,43 @@ func (n *NIC) maxQPs() int {
 // admitQP allocates a fresh state-table entry for qp, refusing on SRAM
 // exhaustion (shared by CreateQP and post-crash ResetQP re-admission).
 func (n *NIC) admitQP(qp *verbs.QP) error {
-	if len(n.qps) >= n.maxQPs() {
+	if n.qps.len() >= n.maxQPs() {
 		n.Net.Add("mgmt.qp-refused", 1)
-		return verbs.ErrNoResources
+		n.Net.Add("qp.exhausted", 1)
+		return &verbs.QPExhaustedError{Current: n.qps.len(), Capacity: n.maxQPs()}
 	}
 	qs := &qpState{qp: qp}
+	if srq := qp.SRQ(); srq != nil {
+		qs.srqs = n.srqFor(srq)
+	}
 	qs.timerFn = func() { n.onQPTimer(qs) }
 	qs.ringFn = func() { n.db.Ring(uint64(qp.QPN)) }
 	qs.recvFn = func() {
 		// The QP may have been destroyed while the PIO write was in
 		// flight; the state entry is only live while it's still mapped.
-		if n.qps[qp.QPN] != qs {
+		if n.qps.get(qp.QPN) != qs {
 			return
 		}
 		n.drainStashAndUpdate(qs)
 	}
-	n.qps[qp.QPN] = qs
+	n.qps.put(qp.QPN, qs)
 	return nil
 }
 
 // AllocQPN implements verbs.Device: per-adapter allocation, offset by the
 // fabric attachment id so QPNs stay cluster-unique and deterministic no
 // matter how shard engines interleave QP creation. Low QPNs are reserved,
-// as in Infiniband; the counter survives crashes (a rebooted adapter never
-// reissues a pre-crash QPN).
+// as in Infiniband. Destroyed QPNs recycle LIFO so connection churn does
+// not grow the number space (and with it the state-table index) without
+// bound; the free list is wiped on crash, so the counter's invariant
+// survives — a rebooted adapter never reissues a pre-crash QPN.
 func (n *NIC) AllocQPN() uint32 {
+	if k := len(n.qpnFree); k > 0 {
+		qpn := n.qpnFree[k-1]
+		n.qpnFree = n.qpnFree[:k-1]
+		n.Net.Add("qpn.recycled", 1)
+		return qpn
+	}
 	n.qpnNext++
 	return uint32(n.att)<<16 | (16 + n.qpnNext)
 }
@@ -458,13 +512,13 @@ func (n *NIC) ResetQP(qp *verbs.QP) error {
 		return verbs.ErrNICDown
 	}
 	n.mgmtCost()
-	qs := n.qps[qp.QPN]
+	qs := n.qps.get(qp.QPN)
 	if qs == nil {
 		// Crash wiped the state table: re-admission path.
 		return n.admitQP(qp)
 	}
 	if qs.conn != nil {
-		delete(n.tcpConns, tcpKey{qs.localPort, qs.remoteAddr, qs.remotePort})
+		n.reapConn(qs)
 		acts := qs.conn.Abort(int64(n.eng.Now()))
 		if len(acts.Segments) > 0 {
 			// The RST needs routing state that outlives the reset; hand it
@@ -475,7 +529,6 @@ func (n *NIC) ResetQP(qp *verbs.QP) error {
 				n.enqueueTx(txWork{qs: tmp, seg: seg})
 			}
 		}
-		delete(n.tcpPorts, qs.localPort)
 		qs.conn = nil
 	} else if qs.localPort != 0 {
 		n.udpPorts.Unbind(qs.localPort)
@@ -490,6 +543,7 @@ func (n *NIC) ResetQP(qp *verbs.QP) error {
 	}
 	qs.sendIDs, qs.sendHead = nil, 0
 	qs.stash, qs.stashHead = nil, 0
+	qs.stashBytes = 0
 	qs.pendingWRs = 0
 	qs.peerClosed = false
 	qs.peerEpoch = 0
@@ -500,8 +554,10 @@ func (n *NIC) ResetQP(qp *verbs.QP) error {
 }
 
 // DestroyQP implements verbs.Device: closes any connection and flushes.
+// The state-table entry is recycled, and so is the QPN — churn reuses
+// slots instead of growing the table.
 func (n *NIC) DestroyQP(qp *verbs.QP) {
-	qs := n.qps[qp.QPN]
+	qs := n.qps.get(qp.QPN)
 	if qs == nil {
 		return
 	}
@@ -518,12 +574,13 @@ func (n *NIC) DestroyQP(qp *verbs.QP) {
 		n.udpPorts.Unbind(qs.localPort)
 	}
 	qp.Flush()
-	delete(n.qps, qp.QPN)
+	n.qps.del(qp.QPN)
+	n.qpnFree = append(n.qpnFree, qp.QPN)
 }
 
 // BindUDP implements verbs.Device.
 func (n *NIC) BindUDP(qp *verbs.QP, port uint16) (uint16, error) {
-	qs := n.qps[qp.QPN]
+	qs := n.qps.get(qp.QPN)
 	if qs == nil {
 		return 0, errors.New("qpipnic: unknown QP")
 	}
@@ -580,7 +637,7 @@ func (n *NIC) connConfig(local, remote uint16) tcp.Config {
 // Connect implements verbs.Device: active open. The SYN/ACK handshake is
 // handled entirely by the interface (paper §3).
 func (n *NIC) Connect(qp *verbs.QP, raddr inet.Addr6, rport uint16) error {
-	qs := n.qps[qp.QPN]
+	qs := n.qps.get(qp.QPN)
 	if qs == nil {
 		return errors.New("qpipnic: unknown QP")
 	}
@@ -626,7 +683,7 @@ func (n *NIC) Listen(port uint16) (*verbs.Listener, error) {
 // SendDoorbell implements verbs.Device: the host's posting method rings
 // the hardware doorbell; the write crosses the PCI bus into the FIFO.
 func (n *NIC) SendDoorbell(qp *verbs.QP) {
-	if qs := n.qps[qp.QPN]; qs != nil {
+	if qs := n.qps.get(qp.QPN); qs != nil {
 		n.cfg.Bus.PIOWrite("doorbell", qs.ringFn)
 		return
 	}
@@ -639,7 +696,7 @@ func (n *NIC) SendDoorbell(qp *verbs.QP) {
 // The notification crosses the bus like a doorbell; the firmware grows
 // the TCP receive window accordingly and drains any stashed records.
 func (n *NIC) RecvPosted(qp *verbs.QP) {
-	if qs := n.qps[qp.QPN]; qs != nil {
+	if qs := n.qps.get(qp.QPN); qs != nil {
 		n.cfg.Bus.PIOWrite("recv-doorbell", qs.recvFn)
 		return
 	}
@@ -681,14 +738,41 @@ func (n *NIC) AttachCQ(cq *verbs.CQ) {
 }
 
 // updateWindow re-advertises the window from posted WR capacity.
+//
+//qpip:hotpath
 func (n *NIC) updateWindow(qs *qpState) {
 	if qs.conn == nil {
 		return
 	}
-	acts := qs.conn.SetRecvWindow(qs.qp.PostedRecvBytes(), int64(n.eng.Now()))
+	posted := qs.qp.PostedRecvBytes()
+	acts := qs.conn.SetRecvWindow(posted, int64(n.eng.Now()))
 	n.handleActions(qs, acts, nil)
 	n.syncTimer(qs)
+	// An SRQ-attached connection that just advertised off an empty pool
+	// parks on the pool: only a repost can reopen its window, and the
+	// peer's probes would otherwise see zero forever.
+	if posted == 0 {
+		n.enqueueSRQWaiter(qs)
+	}
 }
+
+// reapConn unlinks a dead TCB from the demux and port tables. Every
+// connection-death path (graceful close, RST, retry exhaustion, host
+// reset) funnels through here so churn cannot grow either table: before
+// this, tcpConns and the ephemeral reservation in tcpPorts leaked on
+// graceful close, and 16k churned connections exhausted the port space.
+// A listener's port reservation is owned by the listener, not by the
+// accepted children that share it, so it stays.
+func (n *NIC) reapConn(qs *qpState) {
+	delete(n.tcpConns, tcpKey{qs.localPort, qs.remoteAddr, qs.remotePort})
+	if n.listeners[qs.localPort] == nil {
+		delete(n.tcpPorts, qs.localPort)
+	}
+}
+
+// LiveTCPConns reports the number of TCBs resident in the adapter's demux
+// table — the churn benches assert it returns to baseline.
+func (n *NIC) LiveTCPConns() int { return len(n.tcpConns) }
 
 // mgmtCost charges the management FSM for one privileged command.
 func (n *NIC) mgmtCost() {
@@ -711,7 +795,7 @@ func (n *NIC) notifyHost(fn func()) {
 // leak, violating the DESIGN §8 completion invariant.
 func (n *NIC) failQP(qs *qpState, err error, status verbs.Status) {
 	if qs.conn != nil {
-		delete(n.tcpConns, tcpKey{qs.localPort, qs.remoteAddr, qs.remotePort})
+		n.reapConn(qs)
 	}
 	if qs.timer != nil {
 		qs.timer.Cancel()
@@ -720,6 +804,7 @@ func (n *NIC) failQP(qs *qpState, err error, status verbs.Status) {
 	ids := qs.sendIDs[qs.sendHead:]
 	qs.sendIDs, qs.sendHead = nil, 0
 	qs.stash, qs.stashHead = nil, 0
+	qs.stashBytes = 0
 	n.notifyHost(func() {
 		for _, id := range ids {
 			qs.qp.CompleteSend(id, status, 0)

@@ -1,0 +1,173 @@
+package qpipnic
+
+import "sort"
+
+// qpTable is the adapter's QP state table: hashed QPN lookup over a dense
+// entry store with free-slot recycling. The seed's flat Go map worked at
+// hundreds of QPs but hid the SRAM story the paper cares about — the table
+// is a fixed-layout structure in adapter memory (an open-addressing index
+// of QPN→slot plus a dense array of per-QP state), so lookup cost and
+// footprint are explicit and per-slot accounting is exact. Iteration is
+// never over hash order: callers that enumerate (crash teardown,
+// diagnostics) go through liveQPNs, which returns sorted QPNs — the
+// maporder determinism rule, enforced structurally.
+type qpTable struct {
+	// index is the open-addressing probe array: 0 = empty, -1 = tombstone,
+	// otherwise slot+1 into entries. Its length is a power of two.
+	index []int32
+	mask  uint32
+	// entries is the dense state store; freed slots recycle LIFO.
+	entries []qpEntry
+	free    []int32
+	count   int
+	tombs   int
+}
+
+type qpEntry struct {
+	qpn uint32
+	qs  *qpState
+}
+
+const qpTableMinSize = 64
+
+// hashQPN mixes the QPN (attachment id in the high bits, small counter in
+// the low bits) so sequential allocations spread across the index.
+func hashQPN(qpn uint32) uint32 {
+	h := qpn * 0x9e3779b1
+	h ^= h >> 16
+	return h
+}
+
+func newQPTable() *qpTable {
+	t := &qpTable{}
+	t.index = make([]int32, qpTableMinSize)
+	t.mask = qpTableMinSize - 1
+	return t
+}
+
+// get resolves a QPN to its state entry, or nil.
+//
+//qpip:hotpath
+func (t *qpTable) get(qpn uint32) *qpState {
+	h := hashQPN(qpn) & t.mask
+	for {
+		v := t.index[h]
+		if v == 0 {
+			return nil
+		}
+		if v > 0 && t.entries[v-1].qpn == qpn {
+			return t.entries[v-1].qs
+		}
+		h = (h + 1) & t.mask
+	}
+}
+
+// put inserts a new entry. QPNs are unique by construction (AllocQPN), so
+// put never replaces.
+func (t *qpTable) put(qpn uint32, qs *qpState) {
+	if (t.count+t.tombs+1)*4 >= len(t.index)*3 {
+		t.rehash(len(t.index) * 2)
+	}
+	var slot int32
+	if k := len(t.free); k > 0 {
+		slot = t.free[k-1]
+		t.free = t.free[:k-1]
+		t.entries[slot] = qpEntry{qpn: qpn, qs: qs}
+	} else {
+		slot = int32(len(t.entries))
+		t.entries = append(t.entries, qpEntry{qpn: qpn, qs: qs})
+	}
+	t.insertIndex(qpn, slot)
+	t.count++
+}
+
+func (t *qpTable) insertIndex(qpn uint32, slot int32) {
+	h := hashQPN(qpn) & t.mask
+	for {
+		v := t.index[h]
+		if v <= 0 {
+			if v == -1 {
+				t.tombs--
+			}
+			t.index[h] = slot + 1
+			return
+		}
+		h = (h + 1) & t.mask
+	}
+}
+
+// del removes a QPN, recycling its dense slot.
+func (t *qpTable) del(qpn uint32) {
+	h := hashQPN(qpn) & t.mask
+	for {
+		v := t.index[h]
+		if v == 0 {
+			return
+		}
+		if v > 0 && t.entries[v-1].qpn == qpn {
+			slot := v - 1
+			t.index[h] = -1
+			t.tombs++
+			t.entries[slot] = qpEntry{}
+			t.free = append(t.free, slot)
+			t.count--
+			// A tomb-heavy index probes long even at low occupancy;
+			// rebuild in place once tombstones dominate.
+			if t.tombs*2 >= len(t.index) {
+				t.rehash(len(t.index))
+			}
+			return
+		}
+		h = (h + 1) & t.mask
+	}
+}
+
+func (t *qpTable) rehash(size int) {
+	for size*4 < (t.count+1)*6 {
+		size *= 2
+	}
+	t.index = make([]int32, size)
+	t.mask = uint32(size - 1)
+	t.tombs = 0
+	for slot, e := range t.entries {
+		if e.qs != nil {
+			t.insertIndex(e.qpn, int32(slot))
+		}
+	}
+}
+
+// len reports live entries.
+func (t *qpTable) len() int { return t.count }
+
+// reset wipes the table (adapter crash: SRAM contents are gone).
+func (t *qpTable) reset() {
+	t.index = make([]int32, qpTableMinSize)
+	t.mask = qpTableMinSize - 1
+	t.entries = t.entries[:0]
+	t.free = t.free[:0]
+	t.count = 0
+	t.tombs = 0
+}
+
+// liveQPNs appends the live QPNs to dst in ascending order — the only
+// enumeration the table offers, so iteration order can never depend on
+// hash layout.
+func (t *qpTable) liveQPNs(dst []uint32) []uint32 {
+	for _, e := range t.entries {
+		if e.qs != nil {
+			dst = append(dst, e.qpn)
+		}
+	}
+	// entries is creation/recycle order; sort for the deterministic
+	// contract.
+	sortQPNs(dst)
+	return dst
+}
+
+// slotBytes reports the index footprint in SRAM slots (occupied or not:
+// the probe array is allocated storage).
+func (t *qpTable) slots() int { return len(t.index) }
+
+func sortQPNs(a []uint32) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}

@@ -99,7 +99,7 @@ func (n *NIC) acceptSYN(seg *tcp.Segment, ip6 *inet.Header6, epoch uint32) {
 		n.Net.Add("accept.no-idle-qp", 1)
 		return
 	}
-	qs := n.qps[qp.QPN]
+	qs := n.qps.get(qp.QPN)
 	qs.localPort = seg.DstPort
 	qs.remoteAddr, qs.remotePort, qs.remoteAtt = ip6.Src, seg.SrcPort, att
 	qs.peerEpoch = epoch

@@ -1,0 +1,103 @@
+package qpipnic
+
+import (
+	"repro/internal/verbs"
+)
+
+// srqState is the adapter-side view of one shared receive queue: a FIFO
+// of connections stalled waiting for shared buffers. The WR pool itself
+// is host-resident (it survives an adapter crash like every host-memory
+// queue); the adapter only tracks who to wake when the host reposts.
+//
+// A connection parks here in two cases, both dup-idempotent via the
+// qpState.srqWait flag: it holds stashed in-order records the pool could
+// not buffer (the RNR case), or it advertised a zero receive window off
+// an empty pool (the peer is now probing, and only a repost can reopen
+// the window). One SRQPosted notification drains the waiters parked at
+// notification time in FIFO order; connections the drain re-starves
+// re-park and wait for the next repost, so a starved pool converges
+// instead of spinning.
+type srqState struct {
+	srq      *verbs.SRQ
+	waiters  []*qpState
+	waitHead int
+	// drainFn is pre-bound so the notification PIO path never allocates.
+	drainFn func()
+}
+
+// srqFor resolves (or registers) the adapter-side state of an SRQ.
+// Adapters hold a handful of SRQs; the attach-order scan keeps
+// registration deterministic without a map.
+func (n *NIC) srqFor(srq *verbs.SRQ) *srqState {
+	for _, ss := range n.srqs {
+		if ss.srq == srq {
+			return ss
+		}
+	}
+	ss := &srqState{srq: srq}
+	ss.drainFn = func() { n.drainSRQ(ss) }
+	n.srqs = append(n.srqs, ss)
+	return ss
+}
+
+// SRQPosted implements verbs.Device: the host posted count WRs to a
+// shared pool. One notification write crosses the bus regardless of batch
+// size; the firmware wakes the connections parked on the pool.
+func (n *NIC) SRQPosted(srq *verbs.SRQ, count int) {
+	ss := n.srqFor(srq)
+	n.cfg.Bus.PIOWrite("recv-doorbell", ss.drainFn)
+}
+
+// enqueueSRQWaiter parks a connection on its shared pool. Idempotent per
+// connection: a second stall before the drain is absorbed by the flag, so
+// duplicate RNR events (retransmitted data, repeated window probes) never
+// double-queue.
+//
+//qpip:hotpath
+func (n *NIC) enqueueSRQWaiter(qs *qpState) {
+	if qs.srqs == nil || qs.srqWait {
+		return
+	}
+	qs.srqWait = true
+	qs.srqs.waiters = append(qs.srqs.waiters, qs)
+}
+
+// drainSRQ wakes the connections parked on a pool, in park order. Only
+// waiters present when the repost landed are drained — a connection the
+// drain re-starves re-parks behind the cut and waits for the next repost.
+// Crash-flush safety: a crash wipes the adapter-side waiter list with the
+// rest of SRAM, and each drained entry is liveness-checked against the
+// state table, so a stale notification after crash/restart touches
+// nothing.
+//
+//qpip:hotpath
+func (n *NIC) drainSRQ(ss *srqState) {
+	end := len(ss.waiters)
+	for ss.waitHead < end {
+		qs := ss.waiters[ss.waitHead]
+		ss.waiters[ss.waitHead] = nil
+		ss.waitHead++
+		qs.srqWait = false
+		if n.qps.get(qs.qp.QPN) != qs {
+			continue // destroyed or crashed while parked
+		}
+		n.drainStashAndUpdate(qs)
+	}
+	if ss.waitHead == len(ss.waiters) {
+		ss.waiters, ss.waitHead = ss.waiters[:0], 0
+	}
+}
+
+// crashSRQs wipes the adapter-side SRQ bookkeeping (waiter lists). The
+// host-resident pools and their posted WRs survive, exactly like private
+// host-memory queues: after restart and QP re-admission, arriving records
+// claim from the same pool.
+func (n *NIC) crashSRQs() {
+	for _, ss := range n.srqs {
+		for i := range ss.waiters {
+			ss.waiters[i] = nil
+		}
+		ss.waiters, ss.waitHead = nil, 0
+	}
+	n.srqs = nil
+}

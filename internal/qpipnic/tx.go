@@ -80,7 +80,7 @@ func (n *NIC) onDoorbell() {
 			if !ok {
 				return
 			}
-			qs := n.qps[uint32(tok)]
+			qs := n.qps.get(uint32(tok))
 			if qs == nil {
 				continue
 			}
@@ -94,7 +94,7 @@ func (n *NIC) onDoorbell() {
 			return
 		}
 		for _, tok := range n.dbScratch[:k] {
-			qs := n.qps[uint32(tok)]
+			qs := n.qps.get(uint32(tok))
 			if qs == nil {
 				continue
 			}
@@ -130,7 +130,7 @@ func (n *NIC) runTxWork(w txWork, done func()) {
 //
 //qpip:hotpath
 func (n *NIC) consumeSendWR(qs *qpState, amortized bool, done func()) {
-	if qs.pendingWRs <= 0 || n.qps[qs.qp.QPN] == nil {
+	if qs.pendingWRs <= 0 || n.qps.get(qs.qp.QPN) == nil {
 		done()
 		return
 	}
@@ -258,6 +258,18 @@ func (n *NIC) handleActionsChain(qs *qpState, acts tcp.Actions, done func()) {
 	// Segments to the scheduler.
 	for _, seg := range acts.Segments {
 		n.enqueueTx(txWork{qs: qs, seg: seg})
+	}
+	if acts.Closed {
+		// The TCB reached CLOSED (both directions done): drop it and
+		// unlink the demux/port table entries immediately — connection
+		// churn must not grow SRAM-resident tables. Any final segment was
+		// enqueued above with its routing fields captured in the txWork.
+		if qs.timer != nil {
+			qs.timer.Cancel()
+			qs.timer = nil
+		}
+		qs.conn = nil
+		n.reapConn(qs)
 	}
 	if acts.AckedRecords == 0 && len(acts.Delivered) == 0 &&
 		!acts.Established && !acts.Reset && !acts.RetryExceeded && !acts.PeerClosed {

@@ -91,8 +91,27 @@ func (c *Conn) inputSynchronized(seg *Segment, now int64, a *Actions) {
 	if !acceptable && seg.Seq.Add(segLen) == c.rcvNxt && segLen > 0 {
 		acceptable = false
 	}
+	// Zero-window leniency: a dataless segment at exactly rcvNxt (a bare
+	// FIN, or a window update sequenced past one) consumes no receive
+	// buffer, so take it even when the window is closed. A send-only peer
+	// that never posts receive WRs advertises a zero window for its whole
+	// life (record mode derives the window from posted buffers); without
+	// this its half of every close handshake is unacceptable and both ends
+	// retransmit to exhaustion.
+	if !acceptable && seg.Seq == c.rcvNxt && seg.Payload.Len() == 0 {
+		acceptable = true
+	}
 	if !acceptable {
 		if !seg.Flags.Has(RST) {
+			// RFC 793's special allowance: "If the RCV.WND is zero, no
+			// segments will be acceptable, but special allowance should be
+			// made to accept valid ACKs". The ACK field still acknowledges
+			// flight data — a zero-window peer must complete our sends and
+			// advance our closing states even while we refuse its sequence
+			// space.
+			if seg.Flags.Has(ACK) {
+				c.processAck(seg, now, a)
+			}
 			c.sendAck(now, a)
 		}
 		c.stats.BadSegments++
@@ -346,8 +365,14 @@ func (c *Conn) retransmitHead(now int64, a *Actions) {
 	f.sentAt = now
 	c.stats.Retransmits++
 	seg := c.makeSeg(f.flags|ACK, f.payload)
-	if c.state == SynSent || (f.flags.Has(SYN) && !f.flags.Has(ACK)) {
-		seg.Flags = f.flags // pre-established SYN carries no ACK
+	if c.state == SynSent {
+		// Our own pre-established SYN: nothing to acknowledge yet. This is
+		// the ONLY flight SYN that retransmits without ACK — pushFlight
+		// masks stored flags to SYN|FIN, so testing f.flags for a missing
+		// ACK would also strip it from a SYN_RCVD peer's SYN|ACK, leaving
+		// the active opener deaf to every handshake retransmission.
+		seg.Flags = f.flags
+		seg.Ack = 0
 		seg.MSS = uint16(c.cfg.MSS)
 		if c.cfg.WindowScale {
 			seg.WScale = int8(c.rcvScale)

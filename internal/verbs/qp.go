@@ -34,6 +34,9 @@ type QP struct {
 	outSend    int // posted send WRs not yet completed
 	outRecv    int
 	postedRecv int // bytes of receive capacity not yet consumed
+	// srq, when set, replaces the private recvQ: receives are posted to
+	// the shared pool and claimed from it in device-wide FIFO order.
+	srq *SRQ
 	estWaiter  *sim.Proc
 	sqdWaiter  *sim.Proc // parked in WaitSQDrained
 	parked     *Listener // listener this QP is idling on, if any
@@ -53,6 +56,11 @@ type QPConfig struct {
 	RecvCQ    *CQ
 	// SendDepth / RecvDepth bound outstanding WRs (default 128).
 	SendDepth, RecvDepth int
+	// SRQ attaches the QP to a shared receive queue at create time: the
+	// QP has no private recvQ, per-QP receive posting is refused
+	// (ErrSRQAttached), and arriving messages claim from the shared pool
+	// in device-wide FIFO order. RecvDepth is ignored.
+	SRQ *SRQ
 }
 
 // NewQP creates a queue pair and registers it with the device. QPNs come
@@ -77,12 +85,19 @@ func NewQP(dev Device, cfg QPConfig) (*QP, error) {
 		dev:       dev,
 		sendDepth: cfg.SendDepth,
 		recvDepth: cfg.RecvDepth,
+		srq:       cfg.SRQ,
 	}
 	if err := dev.CreateQP(qp); err != nil {
 		return nil, err
 	}
+	if qp.srq != nil {
+		qp.srq.attached++
+	}
 	return qp, nil
 }
+
+// SRQ reports the shared receive queue the QP draws from, if any.
+func (q *QP) SRQ() *SRQ { return q.srq }
 
 // State reports the QP lifecycle state.
 func (q *QP) State() QPState { return q.state }
@@ -187,6 +202,9 @@ func (q *QP) PostSendN(p *sim.Proc, wrs []SendWR) (int, error) {
 //
 //qpip:hotpath
 func (q *QP) PostRecv(p *sim.Proc, wr RecvWR) error {
+	if q.srq != nil {
+		return ErrSRQAttached
+	}
 	if q.state == QPError {
 		return q.err
 	}
@@ -211,12 +229,18 @@ func (q *QP) PostRecv(p *sim.Proc, wr RecvWR) error {
 
 // PostRecvN posts up to len(wrs) receive work requests with one batched
 // CPU charge and a single notification write. Partial-post and fallback
-// semantics mirror PostSendN.
+// semantics mirror PostSendN: the accepted prefix is validated first, and
+// the CPU charge covers exactly that prefix — a batch cut short when the
+// recv FIFO fills mid-batch (or by an invalid WR) must not bill the host
+// for descriptors it never built. qp_test pins the exact charges.
 //
 //qpip:hotpath
 func (q *QP) PostRecvN(p *sim.Proc, wrs []RecvWR) (int, error) {
 	if len(wrs) == 0 {
 		return 0, nil
+	}
+	if q.srq != nil {
+		return 0, ErrSRQAttached
 	}
 	if !hw.BatchedBoundary() {
 		for i, wr := range wrs {
@@ -232,6 +256,7 @@ func (q *QP) PostRecvN(p *sim.Proc, wrs []RecvWR) (int, error) {
 	if q.state == QPClosed {
 		return 0, ErrBadState
 	}
+	// Validate before charging: n is the accepted prefix.
 	n := 0
 	var err error
 	for _, wr := range wrs {
@@ -320,6 +345,9 @@ func (q *QP) Close() {
 	q.unpark()
 	q.dev.DestroyQP(q)
 	q.state = QPClosed
+	if q.srq != nil {
+		q.srq.attached--
+	}
 }
 
 // unpark removes the QP from any listener it idles on.
@@ -349,10 +377,21 @@ func (q *QP) TakeSendWR() (SendWR, bool) {
 	return wr, true
 }
 
-// TakeRecvWR consumes the oldest posted receive WR.
+// TakeRecvWR consumes the oldest posted receive WR. For an SRQ-attached
+// QP the claim resolves through the shared pool in device-wide FIFO
+// order; the claimed WR is owned by this QP from here to completion, so
+// the claim is what makes it outstanding on the QP.
 //
 //qpip:hotpath
 func (q *QP) TakeRecvWR() (RecvWR, bool) {
+	if q.srq != nil {
+		wr, ok := q.srq.take()
+		if ok {
+			q.outRecv++
+			q.recvPosts++
+		}
+		return wr, ok
+	}
 	if q.recvHead >= len(q.recvQ) {
 		return RecvWR{}, false
 	}
@@ -370,8 +409,16 @@ func (q *QP) TakeRecvWR() (RecvWR, bool) {
 func (q *QP) PendingSendWRs() int { return len(q.sendQ) - q.sendHead }
 
 // PostedRecvBytes reports unconsumed receive capacity; the firmware
-// advertises it as the TCP receive window.
-func (q *QP) PostedRecvBytes() int { return q.postedRecv }
+// advertises it as the TCP receive window. An SRQ-attached QP advertises
+// the shared pool's capacity.
+//
+//qpip:hotpath
+func (q *QP) PostedRecvBytes() int {
+	if q.srq != nil {
+		return q.srq.PostedBytes()
+	}
+	return q.postedRecv
+}
 
 // CompleteSend posts a send completion (adapter context).
 //
@@ -436,6 +483,11 @@ func (q *QP) FlushWith(status Status) {
 		q.SendCQ.Push(Completion{QPN: q.QPN, WRID: wr.ID, Op: OpSend, Status: status})
 	}
 	q.sendQ, q.sendHead = nil, 0
+	// An SRQ-attached QP owns no posted-but-unclaimed receive buffers:
+	// unclaimed WRs stay in the shared pool for other attached QPs, so
+	// there is nothing to error per-QP here and recvQ is empty by
+	// construction. Claimed-but-uncompleted WRs are flushed by the device
+	// like consumed sends.
 	for _, wr := range q.recvQ[q.recvHead:] {
 		q.outRecv--
 		q.RecvCQ.Push(Completion{QPN: q.QPN, WRID: wr.ID, Op: OpRecv, Status: status})

@@ -209,6 +209,14 @@ var (
 	ErrRetryExceeded = errors.New("verbs: retry budget exceeded, peer unreachable")
 	// ErrNoResources reports adapter state-table (SRAM TCB) exhaustion.
 	ErrNoResources = errors.New("verbs: adapter out of QP resources")
+	// ErrQPExhausted is the typed form of QP-table exhaustion: CreateQP
+	// refused because the adapter already holds its capacity of live QPs.
+	// Returned errors are *QPExhaustedError values carrying the occupancy;
+	// errors.Is matches both ErrQPExhausted and ErrNoResources.
+	ErrQPExhausted = errors.New("verbs: adapter QP table exhausted")
+	// ErrSRQAttached refuses per-QP receive posting on a QP that draws
+	// from a shared receive queue; post to the SRQ instead.
+	ErrSRQAttached = errors.New("verbs: QP attached to an SRQ; post receives to the SRQ")
 	// ErrSQDraining refuses new send WRs while the QP is in the SQD
 	// (send-queue drain) state.
 	ErrSQDraining = errors.New("verbs: send queue draining (SQD)")
@@ -230,6 +238,24 @@ var (
 	// attempt follows after backoff).
 	ErrHandshakeTimeout = errors.New("verbs: connection rendezvous timed out")
 )
+
+// QPExhaustedError reports CreateQP refused at adapter QP-table capacity,
+// carrying the occupancy that refused it.
+type QPExhaustedError struct {
+	// Current is the number of live QPs when creation was refused;
+	// Capacity is the adapter's QP-table bound.
+	Current, Capacity int
+}
+
+func (e *QPExhaustedError) Error() string {
+	return fmt.Sprintf("verbs: adapter QP table exhausted (%d/%d QPs)", e.Current, e.Capacity)
+}
+
+// Is matches the typed sentinel and, for compatibility with pre-typed
+// callers, the generic resource-exhaustion sentinel.
+func (e *QPExhaustedError) Is(target error) bool {
+	return target == ErrQPExhausted || target == ErrNoResources
+}
 
 // Device is the adapter seen from the host library: the QPIP NIC firmware
 // implements it. Methods are invoked in simulation context; management
@@ -275,6 +301,11 @@ type Device interface {
 	// RecvPostedN notifies the adapter of n new receive WRs with a
 	// single notification write.
 	RecvPostedN(qp *QP, n int)
+	// SRQPosted notifies the adapter that n receive WRs were posted to a
+	// shared receive queue: the firmware re-derives the TCP receive
+	// window of attached connections from the pool and drains any
+	// connections stalled in RNR waiting for shared buffers.
+	SRQPosted(srq *SRQ, n int)
 	// AttachCQ registers a completion queue with the adapter, letting it
 	// bind an event (interrupt) line for coalesced completion wakeups.
 	// Called by NewCQ.

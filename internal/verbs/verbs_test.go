@@ -19,6 +19,8 @@ type fakeDevice struct {
 	recvPosts    int
 	vectored     int
 	vectoredRecv int
+	srqPosts     int
+	srqVectored  int
 	cqs          int
 	connectErr   error
 	qpn          uint32
@@ -59,6 +61,10 @@ func (d *fakeDevice) SendDoorbellN(_ *QP, n int) {
 func (d *fakeDevice) RecvPostedN(_ *QP, n int) {
 	d.recvPosts++
 	d.vectoredRecv += n
+}
+func (d *fakeDevice) SRQPosted(_ *SRQ, n int) {
+	d.srqPosts++
+	d.srqVectored += n
 }
 func (d *fakeDevice) AttachCQ(*CQ) { d.cqs++ }
 

@@ -77,6 +77,15 @@ type (
 	Listener = verbs.Listener
 	// QPConfig sizes a queue pair.
 	QPConfig = verbs.QPConfig
+	// SRQ is a shared receive queue: one host-resident pool of receive
+	// WRs feeding many QPs (QPConfig.SRQ), claimed in FIFO order at
+	// delivery time (DESIGN §16).
+	SRQ = verbs.SRQ
+	// SRQConfig sizes a shared receive queue.
+	SRQConfig = verbs.SRQConfig
+	// QPExhaustedError is the typed error returned when the adapter's QP
+	// state table is full; it carries the table capacity.
+	QPExhaustedError = verbs.QPExhaustedError
 )
 
 // Re-exported cluster types.
@@ -215,7 +224,17 @@ var (
 	// ErrPeerRestarted: the connection was fenced because the remote
 	// adapter rebooted (a frame carried a newer boot epoch).
 	ErrPeerRestarted = verbs.ErrPeerRestarted
+	// ErrQPExhausted: the adapter's QP state table is full (typed as
+	// QPExhaustedError; matches with errors.Is/As).
+	ErrQPExhausted = verbs.ErrQPExhausted
+	// ErrSRQAttached: the operation is invalid on an SRQ-attached QP
+	// (per-QP PostRecv moves to the SRQ).
+	ErrSRQAttached = verbs.ErrSRQAttached
 )
+
+// NewSRQ creates a shared receive queue on node's QPIP adapter. Attach it
+// to QPs at creation time via QPConfig.SRQ.
+func NewSRQ(node *Node, cfg SRQConfig) (*SRQ, error) { return verbs.NewSRQ(node.QPIP, cfg) }
 
 // Fault injection (chaos testing): a seeded deterministic plan of drops,
 // corruption, duplication, delay and link flaps applied to the fabric.
