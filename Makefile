@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: build test vet shadow lint staticcheck govulncheck race fuzz check bench microbench chaos
+.PHONY: build test vet shadow lint lint-baseline staticcheck govulncheck race fuzz check bench microbench chaos
+
+# Accepted-findings baseline for qpiplint. When the file exists, `make
+# lint` fails only on findings not recorded in it; `make lint-baseline`
+# re-records the current findings (review the diff before committing).
+LINT_BASELINE := internal/analysis/baseline.json
 
 # Official performance measurement size and repetitions.
 BENCH_BYTES ?= 33554432
@@ -31,7 +36,21 @@ shadow:
 lint:
 	@$(GO) build -o bin/qpiplint ./cmd/qpiplint || \
 		{ echo "lint: FAILED to build cmd/qpiplint — the lint gate cannot run" >&2; exit 1; }
-	bin/qpiplint ./...
+	@if [ -f $(LINT_BASELINE) ]; then \
+		echo "bin/qpiplint -baseline $(LINT_BASELINE) ./..."; \
+		bin/qpiplint -baseline $(LINT_BASELINE) ./...; \
+	else \
+		bin/qpiplint ./...; \
+	fi
+
+# Re-record the accepted-findings baseline. A finding in the baseline is
+# grandfathered (make lint reports only new ones); shrink it over time,
+# don't grow it casually.
+lint-baseline:
+	@$(GO) build -o bin/qpiplint ./cmd/qpiplint || \
+		{ echo "lint-baseline: FAILED to build cmd/qpiplint" >&2; exit 1; }
+	bin/qpiplint -write-baseline $(LINT_BASELINE) ./...
+	@echo "wrote $(LINT_BASELINE); review the diff before committing"
 
 # staticcheck is optional tooling: run it when installed, note the skip
 # when not (CI images without it still pass the gate on vet + tests).

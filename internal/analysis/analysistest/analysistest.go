@@ -37,6 +37,7 @@ import (
 	"testing"
 
 	"repro/internal/analysis/framework"
+	"repro/internal/analysis/interproc"
 	"repro/internal/analysis/load"
 )
 
@@ -80,6 +81,48 @@ func Run(t *testing.T, a *framework.Analyzer, root, fixture string) {
 		findings = append(findings, fs...)
 	}
 
+	match(t, fset, pkgs, findings)
+}
+
+// RunProgram loads the whole fixture tree under root/fixture into one
+// interproc.Program, applies the whole-program analyzer a, and compares
+// findings with // want expectations — the program-analyzer twin of Run.
+// Unlike Run, all fixture packages are checked first and then analyzed
+// together, since call chains are expected to cross package boundaries.
+func RunProgram(t *testing.T, a *interproc.Analyzer, root, fixture string) {
+	t.Helper()
+
+	fset := token.NewFileSet()
+	pkgs, err := parseFixture(fset, root, fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s has no packages under %s", fixture, root)
+	}
+
+	imp, err := buildImporter(fset, pkgs)
+	if err != nil {
+		t.Fatalf("resolving fixture imports: %v", err)
+	}
+
+	var units []*interproc.Unit
+	for _, fp := range sortTopo(pkgs) {
+		checked, err := load.CheckParsed(fset, fp.path, fp.files, imp)
+		if err != nil {
+			t.Fatalf("type-checking fixture package %s: %v", fp.path, err)
+		}
+		imp.checked[fp.path] = checked.Types
+		units = append(units, &interproc.Unit{
+			Path: fp.path, Files: checked.Files, Types: checked.Types, Info: checked.Info,
+		})
+	}
+
+	prog := interproc.NewProgram(fset, units)
+	findings, err := interproc.Run(prog, []*interproc.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
 	match(t, fset, pkgs, findings)
 }
 

@@ -1,0 +1,12 @@
+package bufown_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/bufown"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.RunProgram(t, bufown.Analyzer, "../testdata/src", "bufown2")
+}

@@ -82,7 +82,7 @@ func (f Finding) String() string {
 // Run applies analyzers to one loaded package and returns the findings
 // that survive //lint:qpip-allow suppression, sorted by position.
 func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
-	allow := collectAllows(fset, files)
+	allow := CollectAllows(fset, files)
 	var out []Finding
 	for _, a := range analyzers {
 		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
@@ -97,7 +97,7 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 			if strings.HasSuffix(pos.Filename, "_test.go") {
 				continue
 			}
-			if allow.allows(a.Name, pos) {
+			if allow.Allows(a.Name, pos) {
 				continue
 			}
 			out = append(out, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
@@ -119,15 +119,21 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 	return out, nil
 }
 
-// allowSet maps file -> line -> analyzer names allowed on that line.
-type allowSet map[string]map[int]map[string]bool
+// AllowSet maps file -> line -> analyzer names allowed on that line. The
+// interprocedural analyzers consult it directly: hotprop treats an allow
+// on a call site as severing that propagation edge, so the set is part of
+// the framework's public surface, not just Run's internal filter.
+type AllowSet map[string]map[int]map[string]bool
 
 // AllowPrefix is the suppression comment marker. The full form is
 // "//lint:qpip-allow <analyzer> <reason...>"; the reason is required.
 const AllowPrefix = "lint:qpip-allow"
 
-func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
-	set := allowSet{}
+// CollectAllows scans the files' comments for //lint:qpip-allow markers.
+// Call it once per package (or, for whole-program analyzers, once over
+// every loaded file) and query with Allows.
+func CollectAllows(fset *token.FileSet, files []*ast.File) AllowSet {
+	set := AllowSet{}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -161,12 +167,40 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 	return set
 }
 
-func (s allowSet) allows(analyzer string, pos token.Position) bool {
+// Allows reports whether a finding by analyzer at pos is suppressed.
+func (s AllowSet) Allows(analyzer string, pos token.Position) bool {
 	lines := s[pos.Filename]
 	if lines == nil {
 		return false
 	}
 	return lines[pos.Line][analyzer]
+}
+
+// Merge folds other into s (whole-program allow collection).
+func (s AllowSet) Merge(other AllowSet) {
+	for file, lines := range other {
+		m := s[file]
+		if m == nil {
+			s[file] = lines
+			continue
+		}
+		for ln, names := range lines {
+			if m[ln] == nil {
+				m[ln] = names
+				continue
+			}
+			for n := range names {
+				m[ln][n] = true
+			}
+		}
+	}
+}
+
+// PathHasSuffix reports whether the import path equals suffix or ends in
+// "/"+suffix — the package-matching convention every analyzer uses so the
+// analysistest fixtures can model real packages with small stand-ins.
+func PathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
 }
 
 // simulatedSuffixes lists the import-path tails of the simulated packages:

@@ -15,18 +15,28 @@
 //     environment per call — bind continuations once at construction
 //     instead, as chainRun and Proc do);
 //   - calls into package fmt (Sprintf and friends allocate; hot paths
-//     use precomputed names);
+//     use precomputed names), and references to fmt functions in value
+//     position (f := fmt.Sprintf allocates just the same when f is
+//     called, and the method value itself may allocate);
 //   - string concatenation with a non-constant operand;
 //   - interface boxing: passing or converting a concrete non-pointer
 //     value to an interface parameter heap-allocates the value (pointer,
 //     func, chan and map values are word-sized and do not);
 //   - append to a function-local slice declared without capacity (grows
-//     per call; fields backed by reused arrays are fine and exempt).
+//     per call; fields backed by reused arrays are fine and exempt);
+//   - append to a freshly created empty slice — the clone idiom
+//     append([]T(nil), src...) / append(x[:0:0], src...) / append([]T{},
+//     a, b) — which allocates a new backing array on every call no
+//     matter how it is spelled.
 //
 // Arguments of panic(...) are exempt everywhere: a hot path may format
 // its dying words. Known-cold branches inside a hot function carry
 // "//lint:qpip-allow hotalloc <reason>" (e.g. verbs error returns, the
 // legacy heap queue).
+//
+// The companion whole-program analyzer hotprop (internal/analysis/
+// hotprop) reuses CheckFunc to apply these same patterns to every
+// function reachable from an annotated root through the call graph.
 package hotalloc
 
 import (
@@ -53,16 +63,17 @@ func run(pass *framework.Pass) error {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !annotated(fd) {
+			if !ok || fd.Body == nil || !Annotated(fd) {
 				continue
 			}
-			check(pass, fd)
+			CheckFunc(pass.TypesInfo, fd, pass.Reportf)
 		}
 	}
 	return nil
 }
 
-func annotated(fd *ast.FuncDecl) bool {
+// Annotated reports whether the declaration carries //qpip:hotpath.
+func Annotated(fd *ast.FuncDecl) bool {
 	if fd.Doc == nil {
 		return false
 	}
@@ -74,8 +85,22 @@ func annotated(fd *ast.FuncDecl) bool {
 	return false
 }
 
-func check(pass *framework.Pass, fd *ast.FuncDecl) {
-	info := pass.TypesInfo
+// CheckFunc applies every allocation pattern to one function body,
+// reporting through report. It is shared between this analyzer (which
+// checks annotated functions) and hotprop (which checks functions the
+// call graph proves reachable from an annotated root).
+func CheckFunc(info *types.Info, fd *ast.FuncDecl, report func(pos token.Pos, format string, args ...any)) {
+	checkFunc(info, fd, "//"+Annotation+" function", report)
+}
+
+// CheckReachable is CheckFunc with diagnostics worded for functions that
+// are not themselves annotated but are reachable from an annotated root
+// (hotprop's case): "hot-reachable function" instead of the directive.
+func CheckReachable(info *types.Info, fd *ast.FuncDecl, report func(pos token.Pos, format string, args ...any)) {
+	checkFunc(info, fd, "hot-reachable function", report)
+}
+
+func checkFunc(info *types.Info, fd *ast.FuncDecl, desc string, report func(pos token.Pos, format string, args ...any)) {
 	// Spans of panic(...) argument lists; anything inside is exempt.
 	var panicSpans []span
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -94,7 +119,7 @@ func check(pass *framework.Pass, fd *ast.FuncDecl) {
 	}
 
 	// Local slices declared without capacity: var s []T, s := []T{},
-	// s := make([]T, n) (no cap).
+	// s := make([]T, n) (no cap), s := append(<fresh empty>, ...).
 	unsized := map[types.Object]bool{}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -133,9 +158,16 @@ func check(pass *framework.Pass, fd *ast.FuncDecl) {
 						unsized[obj] = true
 					}
 				case *ast.CallExpr:
-					if id, ok := ast.Unparen(rhs.Fun).(*ast.Ident); ok {
-						if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "make" && len(rhs.Args) < 3 {
-							unsized[obj] = true
+					if id2, ok := ast.Unparen(rhs.Fun).(*ast.Ident); ok {
+						if b, ok := info.Uses[id2].(*types.Builtin); ok {
+							switch {
+							case b.Name() == "make" && len(rhs.Args) < 3:
+								unsized[obj] = true
+							case b.Name() == "append" && len(rhs.Args) > 0 && isFreshEmptySlice(info, rhs.Args[0]):
+								// s := append([]T(nil), ...) — the clone is
+								// reported below; s also stays growth-tracked.
+								unsized[obj] = true
+							}
 						}
 					}
 				}
@@ -153,23 +185,24 @@ func check(pass *framework.Pass, fd *ast.FuncDecl) {
 		}
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			pass.Reportf(n.Pos(),
-				"closure in //%s function %s allocates its environment per call: bind the continuation once at construction",
-				Annotation, fd.Name.Name)
+			report(n.Pos(),
+				"closure in %s %s allocates its environment per call: bind the continuation once at construction",
+				desc, fd.Name.Name)
 			return false // don't double-report the closure's own body
 		case *ast.CallExpr:
-			checkCall(pass, fd, n)
+			checkCall(info, fd, desc, n, report)
 		case *ast.BinaryExpr:
 			if n.Op == token.ADD && isString(info.Types[n.X].Type) && info.Types[n].Value == nil {
-				pass.Reportf(n.Pos(),
-					"non-constant string concatenation in //%s function %s allocates: precompute the string",
-					Annotation, fd.Name.Name)
+				report(n.Pos(),
+					"non-constant string concatenation in %s %s allocates: precompute the string",
+					desc, fd.Name.Name)
 			}
 		}
 		return true
 	})
 
-	// Growing appends to unsized locals.
+	// Growing appends: to unsized locals, and to freshly created empty
+	// slices (the spread-clone idiom allocates a new array per call).
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok || inPanic(call.Pos()) {
@@ -185,23 +218,92 @@ func check(pass *framework.Pass, fd *ast.FuncDecl) {
 		if len(call.Args) == 0 {
 			return true
 		}
+		if isFreshEmptySlice(info, call.Args[0]) {
+			idiom := "append to a freshly created empty slice"
+			if call.Ellipsis.IsValid() {
+				idiom = "spread append to a freshly created empty slice"
+			}
+			report(call.Pos(),
+				"%s in %s %s allocates a new backing array per call: reuse a field-backed buffer",
+				idiom, desc, fd.Name.Name)
+			return true
+		}
 		dst, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
 		if !ok {
 			return true
 		}
 		if obj := info.Uses[dst]; obj != nil && unsized[obj] {
-			pass.Reportf(call.Pos(),
-				"append to unsized local slice %q in //%s function %s grows per call: preallocate with capacity or reuse a field-backed array",
-				dst.Name, Annotation, fd.Name.Name)
+			report(call.Pos(),
+				"append to unsized local slice %q in %s %s grows per call: preallocate with capacity or reuse a field-backed array",
+				dst.Name, desc, fd.Name.Name)
 		}
 		return true
 	})
+
+	// fmt functions referenced in value position: f := fmt.Sprintf (and
+	// passing fmt.Sprintf to a helper) escapes the call-site check above
+	// but allocates identically when invoked.
+	callFuns := map[ast.Node]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			callFuns[ast.Unparen(call.Fun)] = true
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || callFuns[n] || inPanic(n.Pos()) {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+			return true
+		}
+		report(n.Pos(),
+			"reference to fmt.%s in %s %s: calling it through a variable allocates just the same",
+			fn.Name(), desc, fd.Name.Name)
+		return false
+	})
+}
+
+// isFreshEmptySlice reports whether e creates a zero-length slice with no
+// reusable backing: []T{}, []T(nil), x[:0:0] / x[0:0:0]. Appending to
+// such an expression must allocate.
+func isFreshEmptySlice(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		if tv, ok := info.Types[e]; ok && isSlice(tv.Type) {
+			return len(e.Elts) == 0
+		}
+	case *ast.CallExpr:
+		// A conversion []T(nil).
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() && isSlice(tv.Type) && len(e.Args) == 1 {
+			if argTV, ok := info.Types[e.Args[0]]; ok && argTV.IsNil() {
+				return true
+			}
+		}
+	case *ast.SliceExpr:
+		// x[:0:0] or x[0:0:0]: capacity zero forces reallocation.
+		if e.Slice3 && isConstZero(info, e.High) && isConstZero(info, e.Max) {
+			return e.Low == nil || isConstZero(info, e.Low)
+		}
+	}
+	return false
+}
+
+func isConstZero(info *types.Info, e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.String() == "0"
 }
 
 // checkCall flags fmt calls and interface-boxing arguments.
-func checkCall(pass *framework.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
-	info := pass.TypesInfo
-
+func checkCall(info *types.Info, fd *ast.FuncDecl, desc string, call *ast.CallExpr, report func(pos token.Pos, format string, args ...any)) {
 	// panic(x) boxes x into its any parameter, but the panic exemption
 	// covers the whole argument list: a hot path may format its dying words.
 	if framework.IsPanicCall(info, call) {
@@ -212,9 +314,9 @@ func checkCall(pass *framework.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
 	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
 		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
 			if t := info.Types[call.Args[0]].Type; t != nil && boxes(t) {
-				pass.Reportf(call.Pos(),
-					"conversion of %s to interface in //%s function %s heap-allocates the value",
-					t.String(), Annotation, fd.Name.Name)
+				report(call.Pos(),
+					"conversion of %s to interface in %s %s heap-allocates the value",
+					t.String(), desc, fd.Name.Name)
 			}
 		}
 		return
@@ -222,9 +324,9 @@ func checkCall(pass *framework.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
 
 	fn := framework.CalleeName(info, call)
 	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
-		pass.Reportf(call.Pos(),
-			"fmt.%s in //%s function %s allocates: hot paths use precomputed strings",
-			fn.Name(), Annotation, fd.Name.Name)
+		report(call.Pos(),
+			"fmt.%s in %s %s allocates: hot paths use precomputed strings",
+			fn.Name(), desc, fd.Name.Name)
 		return
 	}
 
@@ -262,9 +364,9 @@ func checkCall(pass *framework.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
 		if at == nil || !boxes(at) {
 			continue
 		}
-		pass.Reportf(arg.Pos(),
-			"passing %s to interface parameter in //%s function %s heap-allocates the value (boxing)",
-			at.String(), Annotation, fd.Name.Name)
+		report(arg.Pos(),
+			"passing %s to interface parameter in %s %s heap-allocates the value (boxing)",
+			at.String(), desc, fd.Name.Name)
 	}
 }
 

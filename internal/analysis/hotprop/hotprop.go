@@ -1,0 +1,79 @@
+// Package hotprop extends the //qpip:hotpath allocation discipline
+// through the call graph. hotalloc checks annotated functions in
+// isolation; a hot loop that calls an innocent-looking helper in another
+// package still pays for every allocation that helper makes. hotprop
+// walks the whole-program call graph (internal/analysis/interproc) from
+// every annotated root — following static calls and conservatively
+// resolved interface dispatches — and applies the same allocation
+// patterns to every reachable function that is not itself annotated
+// (those are hotalloc's, and reporting them twice would be noise).
+//
+// Every diagnostic carries the shortest call chain from an annotated
+// root, so a finding deep in the fabric reads as evidence, not
+// assertion:
+//
+//	frame.go:88: fmt.Sprintf in hot-reachable function fabric.format
+//	allocates ... (hot call chain: qpipnic.(*Engine).TxDoorbell ->
+//	fabric.(*Port).Deliver -> fabric.format)
+//
+// Suppression is per-EDGE, not just per-finding: a
+// "//lint:qpip-allow hotprop <reason>" comment on a call site severs
+// that propagation edge, declaring the call cold by construction (an
+// error path, a one-time setup hook reached through an interface). The
+// callee then stops being hot-reachable through that edge — findings in
+// an entire cold subtree disappear with one annotated call site instead
+// of one allow per allocation. An allow on the flagged allocation line
+// still works too, as everywhere else.
+package hotprop
+
+import (
+	"go/token"
+
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/interproc"
+)
+
+// HotAnnotation is the root marker, shared with hotalloc.
+const HotAnnotation = hotalloc.Annotation
+
+const name = "hotprop"
+
+// Analyzer is the whole-program hot-path propagation check.
+var Analyzer = &interproc.Analyzer{
+	Name: name,
+	Doc:  "propagate //qpip:hotpath through the call graph and flag allocations in reachable callees, with the hot call chain in each diagnostic",
+	Run:  run,
+}
+
+func run(pass *interproc.Pass) error {
+	prog := pass.Prog
+	g := prog.Graph
+
+	var roots []*interproc.Node
+	for _, n := range g.All() {
+		if n.Annotations[HotAnnotation] {
+			roots = append(roots, n)
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+
+	// An allow on the call-site line severs the propagation edge.
+	follow := func(e *interproc.Edge) bool {
+		return !prog.Allows.Allows(name, prog.Fset.Position(e.Pos))
+	}
+	parent := g.ReachableFrom(roots, follow)
+
+	for _, n := range g.All() {
+		e := parent[n]
+		if e == nil || n.Annotations[HotAnnotation] {
+			continue // not reached, or a root: hotalloc's territory
+		}
+		chain := interproc.Chain(parent, n)
+		hotalloc.CheckReachable(n.Unit.Info, n.Decl, func(pos token.Pos, format string, args ...any) {
+			pass.Reportf(pos, format+" (hot call chain: %s)", append(args, chain)...)
+		})
+	}
+	return nil
+}

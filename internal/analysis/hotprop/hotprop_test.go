@@ -1,0 +1,12 @@
+package hotprop_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotprop"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.RunProgram(t, hotprop.Analyzer, "../testdata/src", "hotprop")
+}

@@ -1,0 +1,89 @@
+package interproc
+
+// Fixpoint runs a bottom-up summary computation to a fixed point. update
+// recomputes one node's summary from its callees' current summaries and
+// reports whether the summary changed; when it does, the node's callers
+// are revisited. Summaries must be monotone (flags only ever flip one
+// way) — termination is then bounded by nodes × summary bits.
+//
+// The initial sweep visits nodes in deterministic graph order, and the
+// worklist is FIFO, so analyzer results never depend on map iteration.
+func (g *Graph) Fixpoint(update func(n *Node) bool) {
+	queued := make(map[*Node]bool, len(g.ordered))
+	queue := make([]*Node, 0, len(g.ordered))
+	for _, n := range g.ordered {
+		queue = append(queue, n)
+		queued[n] = true
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		queued[n] = false
+		if !update(n) {
+			continue
+		}
+		for _, e := range n.In {
+			if !queued[e.Caller] {
+				queue = append(queue, e.Caller)
+				queued[e.Caller] = true
+			}
+		}
+	}
+}
+
+// ReachableFrom walks call edges forward from roots and returns, for each
+// reached node (roots excluded), the edge it was first discovered
+// through — the parent pointers of a BFS tree, so diagnostics can print
+// the shortest call chain from a root. follow, when non-nil, can sever
+// individual edges (hotprop severs edges whose call site carries a
+// //lint:qpip-allow hotprop comment).
+func (g *Graph) ReachableFrom(roots []*Node, follow func(*Edge) bool) map[*Node]*Edge {
+	parent := map[*Node]*Edge{}
+	inTree := map[*Node]bool{}
+	queue := make([]*Node, 0, len(roots))
+	for _, r := range roots {
+		if !inTree[r] {
+			inTree[r] = true
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Out {
+			if inTree[e.Callee] {
+				continue
+			}
+			if follow != nil && !follow(e) {
+				continue
+			}
+			inTree[e.Callee] = true
+			parent[e.Callee] = e
+			queue = append(queue, e.Callee)
+		}
+	}
+	return parent
+}
+
+// Chain renders the call chain from a BFS tree root down to n, using the
+// parent map ReachableFrom returned: "root -> mid -> n".
+func Chain(parent map[*Node]*Edge, n *Node) string {
+	var names []string
+	for at := n; ; {
+		names = append(names, at.Name())
+		e := parent[at]
+		if e == nil {
+			break
+		}
+		at = e.Caller
+	}
+	// Reverse into root-first order.
+	var b []byte
+	for i := len(names) - 1; i >= 0; i-- {
+		if len(b) > 0 {
+			b = append(b, " -> "...)
+		}
+		b = append(b, names[i]...)
+	}
+	return string(b)
+}

@@ -1,0 +1,142 @@
+// Package interproc is qpiplint's interprocedural layer: a cross-package
+// call-graph builder plus a small summary-based dataflow framework, built
+// on the standard library's go/ast + go/types only (like the rest of
+// internal/analysis — the build image carries no x/tools).
+//
+// # Why a second analyzer kind
+//
+// The per-package framework (internal/analysis/framework) checks each
+// package in isolation, which is exactly right for syntactic invariants
+// (no wall clocks, no goroutines, no order-sensitive map ranges). The
+// bugs that grew in with the switched topologies, collectives firmware
+// and SRQ pools span functions and packages: a callee reached from a
+// //qpip:hotpath root that allocates, a pooled fabric.Frame acquired in
+// one package and never released in another, shard-runner code touching
+// a foreign engine outside the mailbox protocol. Those need the whole
+// program.
+//
+// # The universe problem
+//
+// The loader type-checks each target package from source but resolves its
+// imports from compiled export data, so one real package exists as two
+// distinct go/types object universes: its own source-checked form, and
+// the export-data form its dependents see. Object identity therefore
+// cannot link a call site in package A to the function declaration in
+// package B. The call graph instead keys every function by its
+// universe-independent full name ((*repro/internal/fabric.Fabric).Send)
+// and matches interface satisfaction structurally, by method name plus a
+// rendered signature string with package-path qualifiers — see
+// callgraph.go.
+//
+// # Summaries
+//
+// Dataflow analyzers attach one summary per graph node and iterate
+// Graph.Fixpoint until no summary changes (monotone summaries only: a
+// summary field may flip false->true, never back, so termination is the
+// finite flag count). The summary format is the analyzer's own struct;
+// bufown's is documented in DESIGN §17 as the reference instance.
+package interproc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Unit is one source-checked package handed to the whole-program layer
+// (mirrors load.Package; redeclared here so interproc depends only on
+// framework).
+type Unit struct {
+	Path  string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is the whole-program view: every loaded unit, the repo-wide
+// suppression set, and the call graph over all of it.
+type Program struct {
+	Fset   *token.FileSet
+	Units  []*Unit
+	Allows framework.AllowSet
+	Graph  *Graph
+}
+
+// NewProgram assembles a Program: collects //lint:qpip-allow suppressions
+// across every file and builds the call graph.
+func NewProgram(fset *token.FileSet, units []*Unit) *Program {
+	allows := framework.AllowSet{}
+	for _, u := range units {
+		allows.Merge(framework.CollectAllows(fset, u.Files))
+	}
+	p := &Program{Fset: fset, Units: units, Allows: allows}
+	p.Graph = buildGraph(p)
+	return p
+}
+
+// Analyzer is one named whole-program check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:qpip-allow suppression comments.
+	Name string
+	// Doc is the one-paragraph description shown by qpiplint -help.
+	Doc string
+	// Run inspects the program and reports findings through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries the program to one analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	diags []framework.Diagnostic
+}
+
+// Reportf records a finding.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, framework.Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Run applies whole-program analyzers and returns the findings that
+// survive //lint:qpip-allow suppression, sorted by position. Test files
+// never reach this layer (the loader lists non-test GoFiles only), but
+// the suffix filter is kept for symmetry with the per-package runner.
+func Run(prog *Program, analyzers []*Analyzer) ([]framework.Finding, error) {
+	var out []framework.Finding
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Prog: prog}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		for _, d := range pass.diags {
+			pos := prog.Fset.Position(d.Pos)
+			if strings.HasSuffix(pos.Filename, "_test.go") {
+				continue
+			}
+			if prog.Allows.Allows(a.Name, pos) {
+				continue
+			}
+			out = append(out, framework.Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}

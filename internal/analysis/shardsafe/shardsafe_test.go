@@ -1,0 +1,12 @@
+package shardsafe_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/shardsafe"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.RunProgram(t, shardsafe.Analyzer, "../testdata/src", "shardsafe")
+}

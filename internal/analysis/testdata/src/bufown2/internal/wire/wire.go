@@ -1,0 +1,21 @@
+// Package wire is a stand-in for the real pooled packet package: the
+// path suffix internal/wire plus the type/function names make bufown's
+// intrinsic table apply, so Get returns an owned reference, Release
+// consumes its receiver, and Retain is a pure borrow — regardless of
+// these stub bodies.
+package wire
+
+// Packet is the pooled type.
+type Packet struct {
+	Len  int
+	refs int
+}
+
+// Get returns an owned pooled packet (intrinsic: owned result).
+func Get() *Packet { return &Packet{refs: 1} }
+
+// Retain adds a reference (intrinsic: borrow).
+func (p *Packet) Retain() { p.refs++ }
+
+// Release drops a reference (intrinsic: consumes receiver).
+func (p *Packet) Release() { p.refs-- }

@@ -78,8 +78,65 @@ func coldBranch(n, limit int) error {
 	return nil
 }
 
+// cloneSpread uses the spread-clone idiom: append onto a fresh empty
+// slice allocates a new backing array every call, however it is spelled.
+//
+//qpip:hotpath
+func cloneSpread(xs []int) []int {
+	return append([]int(nil), xs...) // want `spread append to a freshly created empty slice in //qpip:hotpath function cloneSpread`
+}
+
+// cloneLiteral clones through an empty composite literal instead of a
+// nil conversion; same allocation, same finding.
+//
+//qpip:hotpath
+func cloneLiteral(a, b int) []int {
+	return append([]int{}, a, b) // want `append to a freshly created empty slice in //qpip:hotpath function cloneLiteral`
+}
+
+// cloneReslice zero-caps an existing slice before appending: x[:0:0]
+// guarantees reallocation just like a fresh literal.
+//
+//qpip:hotpath
+func cloneReslice(xs []int) []int {
+	return append(xs[:0:0], xs...) // want `spread append to a freshly created empty slice in //qpip:hotpath function cloneReslice`
+}
+
+// cloneThenGrow binds the clone to a local; the clone itself is flagged
+// and the local stays tracked as unsized for later appends.
+//
+//qpip:hotpath
+func cloneThenGrow(xs []int, y int) []int {
+	s := append([]int(nil), xs...) // want `spread append to a freshly created empty slice in //qpip:hotpath function cloneThenGrow`
+	s = append(s, y)               // want `append to unsized local slice "s" in //qpip:hotpath function cloneThenGrow`
+	return s
+}
+
+// indirected hides the fmt call behind a function value; the reference
+// itself is flagged, not just direct call sites.
+//
+//qpip:hotpath
+func indirected(n int) string {
+	f := fmt.Sprintf  // want `reference to fmt.Sprintf in //qpip:hotpath function indirected`
+	return f("%d", n) // want `passing int to interface parameter in //qpip:hotpath function indirected`
+}
+
+// reslicedInPlace truncates with plain x[:0], which keeps the backing
+// array: legal, no finding.
+//
+//qpip:hotpath
+func reslicedInPlace(buf, xs []int) []int {
+	buf = buf[:0]
+	for _, x := range xs {
+		buf = append(buf, x)
+	}
+	return buf
+}
+
 // unannotated allocates freely: without the annotation nothing is checked.
 func unannotated(n int) string {
 	use(func() { n++ })
-	return fmt.Sprintf("%d", n)
+	f := fmt.Sprintf
+	_ = append([]int(nil), n)
+	return f("%d", n)
 }

@@ -1,0 +1,35 @@
+// Package root holds the annotated hot entry points; everything they can
+// reach in package helper inherits the allocation discipline.
+package root
+
+import "hotprop/helper"
+
+// State is the fixture's little engine.
+type State struct {
+	sinks []helper.Sink
+	buf   []int
+}
+
+// Push is the hot root: its own body is hotalloc's problem; hotprop owns
+// what it calls.
+//
+//qpip:hotpath
+func Push(s *State, n int) string {
+	s.buf = helper.Mid(s.buf)
+	for _, k := range s.sinks {
+		k.Consume(n) // interface dispatch: both Sink impls become hot-reachable
+	}
+	if n < 0 {
+		//lint:qpip-allow hotprop rejected-input diagnostics, cold by construction
+		return helper.ColdReport(n)
+	}
+	return helper.Format(n)
+}
+
+// localAlloc is annotated, so its own allocation belongs to hotalloc and
+// hotprop must NOT report it a second time.
+//
+//qpip:hotpath
+func localAlloc(xs []int) []int {
+	return append([]int(nil), xs...)
+}

@@ -1,0 +1,11 @@
+// Package bench is harness code (no simulated path suffix): draining
+// mailboxes from outside the simulation, e.g. between measured phases,
+// is legal.
+package bench
+
+import "shardsafe/internal/fabric"
+
+// DrainBetweenPhases flushes from the harness: no finding.
+func DrainBetweenPhases(f *fabric.Fabric) int {
+	return f.DrainMailboxes()
+}

@@ -1,0 +1,44 @@
+// Package fabric stubs the mailbox machinery. It is exempt from the
+// deep-chain check (its whole job is injecting into other shards'
+// engines, safely, at barriers) and its drain carries //qpip:barrier.
+package fabric
+
+import "shardsafe/internal/sim"
+
+type mail struct {
+	eng *sim.Engine
+	at  sim.Time
+	fn  func()
+}
+
+type port struct {
+	eng    *sim.Engine
+	outbox []mail
+}
+
+// Fabric is the stub interconnect.
+type Fabric struct{ ports []*port }
+
+// DrainMailboxes injects buffered cross-shard handoffs; runs only at
+// epoch barriers with all shard workers parked.
+//
+//qpip:barrier
+func (f *Fabric) DrainMailboxes() int {
+	n := 0
+	for _, p := range f.ports {
+		for i := range p.outbox {
+			m := &p.outbox[i]
+			m.eng.At(m.at, "fabric.deliver", m.fn) // foreign engines on purpose: exempt package
+		}
+		n += len(p.outbox)
+		p.outbox = p.outbox[:0]
+	}
+	return n
+}
+
+// Flush is barrier code calling barrier code: legal.
+//
+//qpip:barrier
+func (f *Fabric) Flush() int {
+	return f.DrainMailboxes()
+}

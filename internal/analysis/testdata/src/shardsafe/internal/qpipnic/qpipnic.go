@@ -1,0 +1,44 @@
+// Package qpipnic is ordinary simulated code: shallow scheduling on its
+// own engine is fine, deep chains and mid-epoch drains are findings.
+package qpipnic
+
+import (
+	"shardsafe/internal/fabric"
+	"shardsafe/internal/sim"
+)
+
+// NIC owns its engine one field deep, the repo idiom.
+type NIC struct {
+	eng *sim.Engine
+	fab *fabric.Fabric
+}
+
+type chain struct{ n *NIC }
+
+// Tick is ordinary simulated work the shard runner must never call.
+func (n *NIC) Tick() {}
+
+// schedule stays on its own engine: bare ident and ident.field are both
+// within the component boundary.
+func (n *NIC) schedule() {
+	eng := n.eng
+	eng.At(0, "nic.tick", func() {})
+	n.eng.After(0, "nic.later", func() {})
+}
+
+// deliverAcross schedules through a two-deep chain: under sharding that
+// engine can belong to a foreign shard.
+func (c *chain) deliverAcross() {
+	c.n.eng.After(0, "nic.chain", func() {}) // want `After on an engine reached through c.n.eng`
+}
+
+// flushNow drains mailboxes from ordinary simulated code, mid-epoch.
+func (n *NIC) flushNow() {
+	n.fab.DrainMailboxes() // want `//qpip:barrier function fabric.\(\*Fabric\).DrainMailboxes called from qpipnic.\(\*NIC\).flushNow`
+}
+
+// sameShard documents a legitimate deep chain with a reasoned allow.
+func sameShard(c *chain) {
+	//lint:qpip-allow shardsafe loopback shares the kernel's engine, same shard by construction
+	c.n.eng.After(0, "nic.loop", func() {})
+}

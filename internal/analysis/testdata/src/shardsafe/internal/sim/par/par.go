@@ -1,0 +1,34 @@
+// Package par stubs the shard runner: engines may be driven through the
+// coordination surface and barriers may be called; anything else in a
+// simulated package is off limits.
+package par
+
+import (
+	"shardsafe/internal/fabric"
+	"shardsafe/internal/qpipnic"
+	"shardsafe/internal/sim"
+)
+
+// Config mirrors the real runner's configuration.
+type Config struct {
+	Engines  []*sim.Engine
+	Exchange func() int
+	Fab      *fabric.Fabric
+	NIC      *qpipnic.NIC
+}
+
+// RunEpochs drives the shards.
+func RunEpochs(cfg Config) {
+	for _, e := range cfg.Engines {
+		e.RunUntil(100) // coordination surface: legal
+		if _, ok := e.NextAt(); ok {
+			e.Run()
+		}
+	}
+	cfg.Exchange()           // func value bound by core: par cannot name simulated code
+	cfg.Fab.DrainMailboxes() // //qpip:barrier from the runner: legal
+	cfg.NIC.Tick()           // want `shard runner calls qpipnic.\(\*NIC\).Tick in simulated package shardsafe/internal/qpipnic`
+	for _, e := range cfg.Engines {
+		e.Quiesce() // want `shard runner calls sim.\(\*Engine\).Quiesce in simulated package shardsafe/internal/sim`
+	}
+}

@@ -293,6 +293,8 @@ func (c *Cluster) lookahead() (sim.Time, bool) {
 
 // exchange drains every fabric's cross-shard mailboxes at an epoch
 // barrier, in fixed fabric order; fabrics drain ports in attachment order.
+//
+//qpip:barrier
 func (c *Cluster) exchange() int {
 	n := 0
 	for _, f := range []*fabric.Fabric{c.Myrinet, c.Eth} {

@@ -358,6 +358,8 @@ func (f *Fabric) CrossShardLookahead() (sim.Time, bool) {
 // port's outbox in transmit order — so destination-engine sequence numbers
 // (the tie-breaker for same-timestamp events) are a deterministic function
 // of the workload, never of OS thread interleaving.
+//
+//qpip:barrier
 func (f *Fabric) DrainMailboxes() int {
 	total := 0
 	for _, p := range f.ports {
@@ -487,6 +489,7 @@ func (f *Fabric) Send(frame *Frame, onTxDone func()) {
 		return
 	}
 	if frame.txFn == nil {
+		//lint:qpip-allow hotprop continuations are bound once per pooled frame and survive recycling; steady-state sends reuse them
 		frame.bindFns()
 	}
 	src.up.Do(frame.ser, "fabric.tx", frame.txFn)

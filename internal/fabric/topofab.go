@@ -109,6 +109,7 @@ func (f *Fabric) initTopo() {
 // trailing copy (each copy owns one delivery), since the copies may be
 // arbitrated apart at any hop.
 func (f *Fabric) sendTopo(frame *Frame, src *port) {
+	//lint:qpip-allow hotprop lazy one-time topology construction; every send after the first takes the initialized fast path
 	f.initTopo()
 	frame.deliveries = 1
 	frame.hops = f.cfg.Topo.Route(frame.Src, frame.Dst)
@@ -122,6 +123,7 @@ func (f *Fabric) sendTopo(frame *Frame, src *port) {
 		}
 	}
 	if frame.ttxFn == nil || frame.dlvrFn == nil {
+		//lint:qpip-allow hotprop topology continuations are bound once per pooled frame and survive recycling
 		frame.bindTopoFns()
 	}
 	src.up.Do(frame.ser, "fabric.tx", frame.ttxFn)

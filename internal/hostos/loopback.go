@@ -24,6 +24,7 @@ func (l *loopback) MTU() int { return LoopbackMTU }
 // Transmit implements NetDevice: immediate software delivery back into
 // the local stack.
 func (l *loopback) Transmit(pkt *wire.Packet, _ int) {
+	//lint:qpip-allow shardsafe the loopback device shares its owning kernel's engine; delivery never leaves the shard
 	l.k.eng.After(0, "lo.deliver", func() {
 		l.k.DeliverPacket(pkt)
 	})

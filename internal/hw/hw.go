@@ -199,11 +199,21 @@ type IRQLine struct {
 	everFired bool
 	fired     uint64
 	events    uint64
+	// timerFn is the coalesce-timer callback, bound once at construction
+	// so arming the throttle on the hot receive path does not allocate.
+	timerFn func()
 }
 
 // NewIRQLine returns a line bound to eng.
 func NewIRQLine(eng *sim.Engine, isr func(events int)) *IRQLine {
-	return &IRQLine{eng: eng, ISR: isr}
+	l := &IRQLine{eng: eng, ISR: isr}
+	l.timerFn = func() {
+		l.timer = nil
+		if l.pending > 0 {
+			l.fire()
+		}
+	}
+	return l
 }
 
 // SetCoalesce reconfigures the pacing knobs. pkts < 1 disables
@@ -240,12 +250,7 @@ func (l *IRQLine) Raise() {
 		if l.everFired {
 			wait = l.lastFire + l.CoalesceDelay - now
 		}
-		l.timer = l.eng.After(wait, "irq.coalesce", func() {
-			l.timer = nil
-			if l.pending > 0 {
-				l.fire()
-			}
-		})
+		l.timer = l.eng.After(wait, "irq.coalesce", l.timerFn)
 	}
 }
 

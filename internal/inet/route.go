@@ -1,12 +1,17 @@
 package inet
 
-import "fmt"
+import "errors"
 
 // The QPIP prototype resolved addresses with "a static table that maps IPv6
 // addresses to switch routes" (paper §4.1). Table6 and Table4 are those
 // static tables: they map inter-network addresses to fabric attachment
 // identifiers. The fabric layer turns an attachment identifier into an
 // actual source route or switch port.
+
+// ErrNoRoute reports an address with no table entry. It is a fixed
+// sentinel rather than an address-bearing fmt.Errorf because Lookup sits
+// on the per-packet transmit path and must not allocate.
+var ErrNoRoute = errors.New("inet: no route to destination")
 
 // Table6 is a static IPv6 address resolution table.
 type Table6 struct {
@@ -24,7 +29,7 @@ func (t *Table6) Add(addr Addr6, attachment int) { t.m[addr] = attachment }
 func (t *Table6) Lookup(addr Addr6) (int, error) {
 	a, ok := t.m[addr]
 	if !ok {
-		return 0, fmt.Errorf("inet: no route to %v", addr)
+		return 0, ErrNoRoute
 	}
 	return a, nil
 }
@@ -49,7 +54,7 @@ func (t *Table4) Add(addr Addr4, attachment int) { t.m[addr] = attachment }
 func (t *Table4) Lookup(addr Addr4) (int, error) {
 	a, ok := t.m[addr]
 	if !ok {
-		return 0, fmt.Errorf("inet: no route to %v", addr)
+		return 0, ErrNoRoute
 	}
 	return a, nil
 }

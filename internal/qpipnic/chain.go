@@ -161,6 +161,7 @@ func (n *NIC) getChain(done func()) *chainRun {
 		n.chainFree[k-1] = nil
 		n.chainFree = n.chainFree[:k-1]
 	} else {
+		//lint:qpip-allow hotprop pool-miss construction only; runners are recycled through chainFree, so the closures newChainRun binds amortize to zero per packet
 		cr = newChainRun(n)
 	}
 	cr.done = done

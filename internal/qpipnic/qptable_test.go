@@ -1,0 +1,212 @@
+package qpipnic
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/verbs"
+)
+
+// TestQPTableModel drives the adapter QP table against a reference map
+// with a seeded random workload: inserts across the whole QPN space
+// (including attachment-offset and near-wraparound values), deletes,
+// lookups of both live and dead QPNs, and occasional crash resets. Every
+// step checks the table agrees with the model exactly.
+func TestQPTableModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	table := newQPTable()
+	model := map[uint32]*qpState{}
+
+	// QPN pool mixing realistic attachment<<16|counter values with the
+	// extremes of the space, so index hashing and probe wrap are hit.
+	pool := make([]uint32, 0, 512)
+	for att := 0; att < 4; att++ {
+		for i := 0; i < 120; i++ {
+			pool = append(pool, uint32(att)<<16|uint32(16+i))
+		}
+	}
+	pool = append(pool, 0, 1, 0xFFFF, 0x10000, 0xFFFF0010, 0xFFFFFFFF)
+
+	check := func(step int) {
+		t.Helper()
+		if table.len() != len(model) {
+			t.Fatalf("step %d: len %d, model %d", step, table.len(), len(model))
+		}
+		live := table.liveQPNs(nil)
+		if len(live) != len(model) {
+			t.Fatalf("step %d: liveQPNs %d entries, model %d", step, len(live), len(model))
+		}
+		for i, qpn := range live {
+			if i > 0 && live[i-1] >= qpn {
+				t.Fatalf("step %d: liveQPNs not strictly ascending at %d: %v", step, i, live)
+			}
+			if _, ok := model[qpn]; !ok {
+				t.Fatalf("step %d: liveQPNs reports dead QPN %d", step, qpn)
+			}
+		}
+	}
+
+	for step := 0; step < 20000; step++ {
+		qpn := pool[rng.Intn(len(pool))]
+		switch op := rng.Intn(100); {
+		case op < 45: // put (if not live)
+			if _, ok := model[qpn]; !ok {
+				qs := &qpState{}
+				table.put(qpn, qs)
+				model[qpn] = qs
+			}
+		case op < 75: // del
+			table.del(qpn)
+			delete(model, qpn)
+		case op < 99: // get
+			got := table.get(qpn)
+			if want := model[qpn]; got != want {
+				t.Fatalf("step %d: get(%d) = %p, want %p", step, qpn, got, want)
+			}
+		default: // crash reset
+			table.reset()
+			model = map[uint32]*qpState{}
+		}
+		if step%251 == 0 {
+			check(step)
+		}
+	}
+	check(20000)
+}
+
+// TestQPTableRecycleNeverAliases checks the free-list invariant directly:
+// recycling a dense slot for a new QPN must not leave the old QPN
+// resolvable, and the new QPN must resolve to its own state — a stale
+// index entry aliasing a recycled slot would hand one connection's TCB to
+// another QP.
+func TestQPTableRecycleNeverAliases(t *testing.T) {
+	table := newQPTable()
+	old := &qpState{}
+	table.put(100, old)
+	table.del(100)
+	fresh := &qpState{}
+	table.put(200, fresh) // recycles slot 0
+	if got := table.get(100); got != nil {
+		t.Fatalf("deleted QPN 100 still resolves (%p) after its slot was recycled", got)
+	}
+	if got := table.get(200); got != fresh {
+		t.Fatalf("get(200) = %p, want the freshly put state %p", got, fresh)
+	}
+
+	// Same probe chain: two QPNs that collide, delete the first, reuse.
+	table.reset()
+	a, b := uint32(7), uint32(7+qpTableMinSize) // may or may not collide; exercise anyway
+	sa, sb := &qpState{}, &qpState{}
+	table.put(a, sa)
+	table.put(b, sb)
+	table.del(a)
+	if got := table.get(b); got != sb {
+		t.Fatalf("get(%d) broken by deleting colliding predecessor", b)
+	}
+	sa2 := &qpState{}
+	table.put(a, sa2)
+	if got := table.get(a); got != sa2 {
+		t.Fatalf("re-put of %d resolves to %p, want %p", a, got, sa2)
+	}
+}
+
+// TestQPTableChurnBounded runs exhaust/reap cycles: fill the table far
+// past its initial size, drain it, and repeat. The index must keep
+// resizing correctly under tombstone pressure, and repeated same-size
+// cycles must not grow the probe array without bound (the tombstone
+// rebuild, not perpetual doubling, absorbs churn).
+func TestQPTableChurnBounded(t *testing.T) {
+	table := newQPTable()
+	const n = 4096
+	var slotsAfterFirst int
+	for cycle := 0; cycle < 6; cycle++ {
+		for i := uint32(0); i < n; i++ {
+			table.put(i, &qpState{})
+		}
+		if table.len() != n {
+			t.Fatalf("cycle %d: len %d after fill, want %d", cycle, table.len(), n)
+		}
+		for i := uint32(0); i < n; i++ {
+			table.del(i)
+		}
+		if table.len() != 0 {
+			t.Fatalf("cycle %d: len %d after drain, want 0", cycle, table.len())
+		}
+		if cycle == 0 {
+			slotsAfterFirst = table.slots()
+		} else if table.slots() > 2*slotsAfterFirst {
+			t.Fatalf("cycle %d: index grew to %d slots (first cycle ended at %d) — churn is leaking index space",
+				cycle, table.slots(), slotsAfterFirst)
+		}
+	}
+}
+
+// TestAllocQPNRecycle checks the device-level QPN allocator through the
+// verbs API: destroyed QPNs recycle LIFO so churn does not grow the
+// number space, a live QPN is never handed out twice across exhaust/reap
+// cycles, and a crash wipes the free list so a rebooted adapter never
+// reissues a pre-crash QPN.
+func TestAllocQPNRecycle(t *testing.T) {
+	c := newCluster(t, nil)
+	n := c.nics[0]
+	scq := verbs.NewCQ(n, 1024)
+	rcq := verbs.NewCQ(n, 1024)
+	mk := func() *verbs.QP {
+		t.Helper()
+		qp, err := verbs.NewQP(n, verbs.QPConfig{Transport: verbs.Unreliable, SendCQ: scq, RecvCQ: rcq, SendDepth: 4, RecvDepth: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return qp
+	}
+
+	live := map[uint32]bool{}
+	var qps []*verbs.QP
+	for i := 0; i < 32; i++ {
+		qp := mk()
+		if live[qp.QPN] {
+			t.Fatalf("AllocQPN reissued live QPN %d", qp.QPN)
+		}
+		live[qp.QPN] = true
+		qps = append(qps, qp)
+	}
+
+	// Reap the even-index QPs in creation order; LIFO recycling must
+	// replay their QPNs in reverse destruction order.
+	var reaped []uint32
+	for i := 0; i < len(qps); i += 2 {
+		n.DestroyQP(qps[i])
+		delete(live, qps[i].QPN)
+		reaped = append(reaped, qps[i].QPN)
+	}
+	for i := len(reaped) - 1; i >= 0; i-- {
+		qp := mk()
+		if qp.QPN != reaped[i] {
+			t.Fatalf("recycle order: got QPN %d, want %d (LIFO)", qp.QPN, reaped[i])
+		}
+		if live[qp.QPN] {
+			t.Fatalf("AllocQPN reissued live QPN %d", qp.QPN)
+		}
+		live[qp.QPN] = true
+	}
+	// Free list drained: the next QPN is fresh, not a live one.
+	if qp := mk(); live[qp.QPN] {
+		t.Fatalf("allocator reissued live QPN %d after draining the free list", qp.QPN)
+	}
+
+	// Crash the adapter mid-churn with QPNs sitting on the free list;
+	// after restart the allocator must continue from the high-water
+	// counter, never reissuing anything issued before the crash.
+	victim := mk()
+	n.DestroyQP(victim)
+	n.Crash()
+	n.Restart()
+	live[victim.QPN] = true // pre-crash QPN: must NOT come back
+	for i := 0; i < 8; i++ {
+		qp := mk()
+		if live[qp.QPN] {
+			t.Fatalf("post-restart AllocQPN reissued pre-crash QPN %d", qp.QPN)
+		}
+		live[qp.QPN] = true
+	}
+}

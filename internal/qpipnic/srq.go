@@ -35,6 +35,7 @@ func (n *NIC) srqFor(srq *verbs.SRQ) *srqState {
 		}
 	}
 	ss := &srqState{srq: srq}
+	//lint:qpip-allow hotprop drainFn is bound once per SRQ at first registration; subsequent posts hit the lookup loop above
 	ss.drainFn = func() { n.drainSRQ(ss) }
 	n.srqs = append(n.srqs, ss)
 	return ss

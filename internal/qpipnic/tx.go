@@ -298,6 +298,7 @@ func (n *NIC) handleActionsChain(qs *qpState, acts tcp.Actions, done func()) {
 		cr.push(stage{kind: stStashTally})
 	}
 	if acts.Established {
+		//lint:qpip-allow hotprop connection establishment happens once per QP lifetime
 		cr.push(stage{kind: stCustom, fn: func(next func()) {
 			n.notifyHost(func() {
 				qs.qp.SetEstablished(qs.localPort, qs.remotePort, qs.remoteAddr)
@@ -306,6 +307,7 @@ func (n *NIC) handleActionsChain(qs *qpState, acts tcp.Actions, done func()) {
 		}})
 	}
 	if acts.Reset {
+		//lint:qpip-allow hotprop connection reset is a rare failure event, not datapath work
 		cr.push(stage{kind: stCustom, fn: func(next func()) {
 			n.Net.Add("conn.reset", 1)
 			n.failQP(qs, verbs.ErrConnRefused, verbs.StatusRemoteError)
@@ -316,6 +318,7 @@ func (n *NIC) handleActionsChain(qs *qpState, acts tcp.Actions, done func()) {
 		// The retry budget is spent: the QP transitions to the error
 		// state and outstanding WRs flush asynchronously with
 		// StatusRetryExceeded (tentpole behaviour, DESIGN §8).
+		//lint:qpip-allow hotprop retry exhaustion is a terminal failure event, not datapath work
 		cr.push(stage{kind: stCustom, fn: func(next func()) {
 			n.Net.Add("conn.retry-exceeded", 1)
 			n.failQP(qs, verbs.ErrRetryExceeded, verbs.StatusRetryExceeded)
@@ -323,6 +326,7 @@ func (n *NIC) handleActionsChain(qs *qpState, acts tcp.Actions, done func()) {
 		}})
 	}
 	if acts.PeerClosed {
+		//lint:qpip-allow hotprop peer close happens once per connection teardown
 		cr.push(stage{kind: stCustom, fn: func(next func()) {
 			qs.peerClosed = true
 			n.notifyHost(func() { qs.qp.Flush() })

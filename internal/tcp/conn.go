@@ -236,6 +236,9 @@ type Conn struct {
 	pendingBytes   []buf.Buf // stream mode
 	pendingBytHead int
 	pendingLen     int
+	// concatParts is takePending's scratch for takes spanning queue
+	// entries; reused so steady-state segmentation does not allocate.
+	concatParts []buf.Buf
 	finQueued      bool
 	finSent        bool
 	finSeq         Seq
@@ -290,6 +293,7 @@ var (
 	ErrClosed         = errors.New("tcp: connection closed")
 	ErrRecordTooBig   = errors.New("tcp: record exceeds send MSS")
 	ErrBadState       = errors.New("tcp: operation invalid in this state")
+	ErrNotSYN         = errors.New("tcp: AcceptSYN on non-SYN segment")
 )
 
 // NewConn returns a connection in CLOSED with the given configuration.
@@ -380,7 +384,7 @@ func (c *Conn) AcceptSYN(syn *Segment, now int64) (Actions, error) {
 		return a, ErrBadState
 	}
 	if !syn.Flags.Has(SYN) || syn.Flags.Has(ACK) {
-		return a, fmt.Errorf("tcp: AcceptSYN on non-SYN segment (%v)", syn.Flags)
+		return a, ErrNotSYN
 	}
 	c.stats.SegsIn++
 	c.state = SynRcvd
@@ -455,7 +459,7 @@ func (c *Conn) Send(p buf.Buf, now int64) (Actions, error) {
 	}
 	if c.cfg.Mode == Record {
 		if c.sndMSS > 0 && p.Len() > c.sndMSS {
-			return a, fmt.Errorf("%w: %d > %d", ErrRecordTooBig, p.Len(), c.sndMSS)
+			return a, ErrRecordTooBig
 		}
 		c.pendingRecords = append(c.pendingRecords, p)
 	} else {

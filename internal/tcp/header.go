@@ -3,7 +3,6 @@ package tcp
 import (
 	"encoding/binary"
 	"errors"
-	"fmt"
 
 	"repro/internal/buf"
 )
@@ -159,7 +158,10 @@ func SetChecksum(hdr []byte, ck uint16) { binary.BigEndian.PutUint16(hdr[16:], c
 // GetChecksum reads the checksum field of a marshaled header.
 func GetChecksum(hdr []byte) uint16 { return binary.BigEndian.Uint16(hdr[16:]) }
 
-// Parse errors.
+// Parse errors. These are fixed sentinels rather than detail-bearing
+// fmt.Errorf wraps: ParseHeader runs per received segment on the host
+// receive path, and even its failure arms must not allocate (a corrupted
+// burst would otherwise turn into GC pressure).
 var (
 	ErrTruncated = errors.New("tcp: truncated segment")
 	ErrBadOffset = errors.New("tcp: bad data offset")
@@ -172,7 +174,7 @@ func ParseHeader(b []byte) (Segment, int, error) {
 	var s Segment
 	s.WScale = -1
 	if len(b) < BaseHeaderLen {
-		return s, 0, fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
+		return s, 0, ErrTruncated
 	}
 	s.SrcPort = binary.BigEndian.Uint16(b[0:])
 	s.DstPort = binary.BigEndian.Uint16(b[2:])
@@ -180,7 +182,7 @@ func ParseHeader(b []byte) (Segment, int, error) {
 	s.Ack = Seq(binary.BigEndian.Uint32(b[8:]))
 	hlen := int(b[12]>>4) * 4
 	if hlen < BaseHeaderLen || hlen > len(b) {
-		return s, 0, fmt.Errorf("%w: offset %d, have %d", ErrBadOffset, hlen, len(b))
+		return s, 0, ErrBadOffset
 	}
 	s.Flags = Flags(b[13] & 0x3f)
 	s.Wnd = binary.BigEndian.Uint16(b[14:])
@@ -193,29 +195,29 @@ func ParseHeader(b []byte) (Segment, int, error) {
 			opts = opts[1:]
 		default:
 			if len(opts) < 2 || int(opts[1]) < 2 || int(opts[1]) > len(opts) {
-				return s, 0, fmt.Errorf("%w: kind %d", ErrBadOption, kind)
+				return s, 0, ErrBadOption
 			}
 			olen := int(opts[1])
 			body := opts[2:olen]
 			switch kind {
 			case 2:
 				if len(body) != 2 {
-					return s, 0, fmt.Errorf("%w: mss length %d", ErrBadOption, olen)
+					return s, 0, ErrBadOption
 				}
 				s.MSS = binary.BigEndian.Uint16(body)
 			case 3:
 				if len(body) != 1 {
-					return s, 0, fmt.Errorf("%w: wscale length %d", ErrBadOption, olen)
+					return s, 0, ErrBadOption
 				}
 				s.WScale = int8(body[0])
 			case 4:
 				if len(body) != 0 {
-					return s, 0, fmt.Errorf("%w: sackperm length %d", ErrBadOption, olen)
+					return s, 0, ErrBadOption
 				}
 				s.SACKPerm = true
 			case 8:
 				if len(body) != 8 {
-					return s, 0, fmt.Errorf("%w: timestamp length %d", ErrBadOption, olen)
+					return s, 0, ErrBadOption
 				}
 				s.HasTS = true
 				s.TSVal = binary.BigEndian.Uint32(body[0:])

@@ -144,7 +144,7 @@ func (c *Conn) takePending(n int) buf.Buf {
 		c.pendingLen -= n
 		return head
 	}
-	var parts []buf.Buf
+	parts := c.concatParts[:0]
 	got := 0
 	for got < n {
 		head := c.pendingBytes[c.pendingBytHead]
@@ -160,7 +160,12 @@ func (c *Conn) takePending(n int) buf.Buf {
 		}
 	}
 	c.pendingLen -= n
-	return buf.Concat(parts...)
+	out := buf.Concat(parts...)
+	for i := range parts {
+		parts[i] = buf.Empty // don't pin consumed buffers in the scratch
+	}
+	c.concatParts = parts[:0]
+	return out
 }
 
 // popPendingRecord retires the head record, clearing the slot so the drained

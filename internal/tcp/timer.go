@@ -12,15 +12,11 @@ import "repro/internal/buf"
 // ok is false when no timer is armed.
 func (c *Conn) NextTimeout() (deadline int64, ok bool) {
 	min := int64(0)
-	consider := func(d int64) {
+	for _, d := range [...]int64{c.rexmtDeadline, c.persistDeadline, c.delackDeadline, c.timewaitDeadline} {
 		if d != 0 && (min == 0 || d < min) {
 			min = d
 		}
 	}
-	consider(c.rexmtDeadline)
-	consider(c.persistDeadline)
-	consider(c.delackDeadline)
-	consider(c.timewaitDeadline)
 	return min, min != 0
 }
 

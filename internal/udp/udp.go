@@ -91,14 +91,14 @@ var (
 func Parse(b []byte) (Header, int, error) {
 	var h Header
 	if len(b) < HeaderLen {
-		return h, 0, fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
+		return h, 0, ErrTruncated
 	}
 	h.SrcPort = binary.BigEndian.Uint16(b[0:])
 	h.DstPort = binary.BigEndian.Uint16(b[2:])
 	h.Length = binary.BigEndian.Uint16(b[4:])
 	h.Checksum = binary.BigEndian.Uint16(b[6:])
 	if int(h.Length) < HeaderLen {
-		return h, 0, fmt.Errorf("%w: %d", ErrBadLength, h.Length)
+		return h, 0, ErrBadLength
 	}
 	return h, int(h.Length) - HeaderLen, nil
 }

@@ -13,11 +13,18 @@ cd "$(dirname "$0")/.."
 echo "==> building bin/qpiplint (mandatory, no network needed)"
 go build -o bin/qpiplint ./cmd/qpiplint
 
+# Tool versions are pinned so every checkout runs the same analyzers: a
+# version bump is a reviewed diff here, not a drive-by @latest change in
+# whatever environment happened to run this script first.
+STATICCHECK_VERSION=2025.1.1
+XTOOLS_VERSION=v0.33.0
+GOVULNCHECK_VERSION=v1.1.4
+
 install_tool() {
 	name=$1
 	pkg=$2
 	if command -v "$name" >/dev/null 2>&1; then
-		echo "==> $name already installed"
+		echo "==> $name already installed ($(command -v "$name"))"
 		return
 	fi
 	echo "==> installing $name ($pkg)"
@@ -26,8 +33,8 @@ install_tool() {
 	fi
 }
 
-install_tool staticcheck honnef.co/go/tools/cmd/staticcheck@latest
-install_tool shadow golang.org/x/tools/go/analysis/passes/shadow/cmd/shadow@latest
-install_tool govulncheck golang.org/x/vuln/cmd/govulncheck@latest
+install_tool staticcheck "honnef.co/go/tools/cmd/staticcheck@$STATICCHECK_VERSION"
+install_tool shadow "golang.org/x/tools/go/analysis/passes/shadow/cmd/shadow@$XTOOLS_VERSION"
+install_tool govulncheck "golang.org/x/vuln/cmd/govulncheck@$GOVULNCHECK_VERSION"
 
 echo "==> done; 'make check' will use everything it found on PATH"
